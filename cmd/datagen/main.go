@@ -1,0 +1,74 @@
+// Command datagen writes synthetic graphs to edge-list files: either one of
+// the registered dataset analogs or a raw generator with explicit
+// parameters.
+//
+// Usage:
+//
+//	datagen -dataset dblp -out dblp.txt
+//	datagen -model ba -n 10000 -param 3 -seed 7 -out ba.txt
+//	datagen -model chunglu -n 10000 -gamma 2.3 -avgdeg 8 -out cl.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	egobw "repro"
+)
+
+func main() {
+	ds := flag.String("dataset", "", "registered dataset analog to emit")
+	model := flag.String("model", "", "generator: er, ba, chunglu, ws, affiliation")
+	n := flag.Int("n", 10000, "vertices")
+	param := flag.Int("param", 3, "er: edges/vertex; ba: attachments; ws: ring degree; affiliation: communities per 2.5 vertices")
+	gamma := flag.Float64("gamma", 2.5, "chunglu: power-law exponent")
+	avgdeg := flag.Float64("avgdeg", 8, "chunglu: target average degree")
+	beta := flag.Float64("beta", 0.1, "ws: rewiring probability")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	g, err := build(*ds, *model, int32(*n), *param, *gamma, *avgdeg, *beta, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := egobw.SaveEdgeList(w, g); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", egobw.Stats(g))
+}
+
+func build(ds, model string, n int32, param int, gamma, avgdeg, beta float64, seed uint64) (*egobw.Graph, error) {
+	if ds != "" {
+		return egobw.LoadDataset(ds)
+	}
+	switch model {
+	case "er":
+		return egobw.GenerateER(n, int64(n)*int64(param), seed), nil
+	case "ba":
+		return egobw.GenerateBA(n, param, seed), nil
+	case "chunglu":
+		return egobw.GenerateChungLu(n, gamma, avgdeg, n/20, seed), nil
+	case "ws":
+		return egobw.GenerateWS(n, param, beta, seed), nil
+	case "affiliation":
+		return egobw.GenerateAffiliation(n, int(n)*2/5, 5, 1, seed), nil
+	case "":
+		return nil, fmt.Errorf("need -dataset or -model")
+	default:
+		return nil, fmt.Errorf("unknown model %q", model)
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestBuildModels(t *testing.T) {
+	for _, model := range []string{"er", "ba", "chunglu", "ws", "affiliation"} {
+		g, err := build("", model, 200, 3, 2.5, 6, 0.1, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		if g.NumVertices() != 200 {
+			t.Errorf("%s: n=%d", model, g.NumVertices())
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", model, err)
+		}
+	}
+}
+
+func TestBuildDataset(t *testing.T) {
+	g, err := build("ir", "", 0, 0, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 {
+		t.Fatal("empty dataset")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := build("", "", 10, 1, 2, 2, 0, 1); err == nil {
+		t.Error("missing model and dataset must error")
+	}
+	if _, err := build("", "nope", 10, 1, 2, 2, 0, 1); err == nil {
+		t.Error("unknown model must error")
+	}
+	if _, err := build("nope", "", 10, 1, 2, 2, 0, 1); err == nil {
+		t.Error("unknown dataset must error")
+	}
+}

@@ -1,0 +1,190 @@
+// Command egobw is the library's CLI: top-k ego-betweenness search, exact
+// per-vertex queries, all-vertices computation, and comparison against
+// classic betweenness, over edge-list files or generated datasets.
+//
+// Usage:
+//
+//	egobw topk -k 10 -in graph.txt              # OptBSearch on a file
+//	egobw topk -k 10 -dataset dblp -algo base   # BaseBSearch on an analog
+//	egobw all -dataset ir -threads 4            # parallel all-vertices
+//	egobw vertex -in graph.txt -v 42            # one vertex, exact
+//	egobw compare -dataset ir -k 20             # EBW vs BW overlap
+//	egobw stats -in graph.txt                   # Table-I style statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	egobw "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "topk":
+		err = cmdTopK(args)
+	case "all":
+		err = cmdAll(args)
+	case "vertex":
+		err = cmdVertex(args)
+	case "compare":
+		err = cmdCompare(args)
+	case "stats":
+		err = cmdStats(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egobw:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: egobw <topk|all|vertex|compare|stats> [flags]
+  topk    -k K [-algo opt|base] [-theta θ] (-in FILE | -dataset NAME)
+  all     [-threads T] [-strategy edge|vertex] (-in FILE | -dataset NAME)
+  vertex  -v V (-in FILE | -dataset NAME)
+  compare -k K [-threads T] (-in FILE | -dataset NAME)
+  stats   (-in FILE | -dataset NAME)`)
+}
+
+// loadFlags adds the shared input flags to fs and returns a loader.
+func loadFlags(fs *flag.FlagSet) func() (*egobw.Graph, error) {
+	in := fs.String("in", "", "edge-list file (SNAP text format)")
+	ds := fs.String("dataset", "", "generated dataset name (see benchtab)")
+	return func() (*egobw.Graph, error) {
+		switch {
+		case *in != "" && *ds != "":
+			return nil, fmt.Errorf("choose one of -in and -dataset")
+		case *in != "":
+			return egobw.LoadEdgeListFile(*in)
+		case *ds != "":
+			return egobw.LoadDataset(*ds)
+		default:
+			return nil, fmt.Errorf("need -in FILE or -dataset NAME")
+		}
+	}
+}
+
+func cmdTopK(args []string) error {
+	fs := flag.NewFlagSet("topk", flag.ExitOnError)
+	load := loadFlags(fs)
+	k := fs.Int("k", 10, "how many vertices")
+	algo := fs.String("algo", "opt", "search algorithm: opt or base")
+	theta := fs.Float64("theta", egobw.DefaultTheta, "OptBSearch gradient ratio")
+	fs.Parse(args)
+	g, err := load()
+	if err != nil {
+		return err
+	}
+	opts := []egobw.Option{egobw.WithTheta(*theta)}
+	switch *algo {
+	case "opt":
+	case "base":
+		opts = append(opts, egobw.WithBaseSearch())
+	default:
+		return fmt.Errorf("unknown -algo %q", *algo)
+	}
+	t0 := time.Now()
+	res, st := egobw.TopK(g, *k, opts...)
+	fmt.Printf("# n=%d m=%d algo=%s elapsed=%v computed=%d pruned=%d\n",
+		g.NumVertices(), g.NumEdges(), *algo, time.Since(t0).Round(time.Microsecond),
+		st.Computed, st.Pruned)
+	for i, r := range res {
+		fmt.Printf("%4d  v=%-8d CB=%.4f\n", i+1, r.V, r.CB)
+	}
+	return nil
+}
+
+func cmdAll(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	load := loadFlags(fs)
+	threads := fs.Int("threads", 0, "worker count (0 = GOMAXPROCS)")
+	strategy := fs.String("strategy", "edge", "parallel strategy: edge or vertex")
+	fs.Parse(args)
+	g, err := load()
+	if err != nil {
+		return err
+	}
+	strat := egobw.EdgePEBW
+	if *strategy == "vertex" {
+		strat = egobw.VertexPEBW
+	} else if *strategy != "edge" {
+		return fmt.Errorf("unknown -strategy %q", *strategy)
+	}
+	cb, st := egobw.ComputeAllParallel(g, *threads, strat)
+	fmt.Printf("# n=%d m=%d strategy=%v threads=%d elapsed=%v balance-bound(t)=%.2fx\n",
+		g.NumVertices(), g.NumEdges(), strat, st.Threads,
+		st.Elapsed.Round(time.Microsecond), st.SpeedupBound(st.Threads))
+	for v, x := range cb {
+		fmt.Printf("%d %.4f\n", v, x)
+	}
+	return nil
+}
+
+func cmdVertex(args []string) error {
+	fs := flag.NewFlagSet("vertex", flag.ExitOnError)
+	load := loadFlags(fs)
+	v := fs.Int("v", -1, "vertex id")
+	fs.Parse(args)
+	g, err := load()
+	if err != nil {
+		return err
+	}
+	if *v < 0 || int32(*v) >= g.NumVertices() {
+		return fmt.Errorf("vertex %d out of range [0,%d)", *v, g.NumVertices())
+	}
+	fmt.Printf("CB(%d) = %.6f  (degree %d, bound %.1f)\n",
+		*v, egobw.EgoBetweenness(g, int32(*v)), g.Degree(int32(*v)),
+		float64(g.Degree(int32(*v)))*float64(g.Degree(int32(*v))-1)/2)
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	load := loadFlags(fs)
+	k := fs.Int("k", 10, "how many vertices")
+	threads := fs.Int("threads", 0, "Brandes workers (0 = GOMAXPROCS)")
+	fs.Parse(args)
+	g, err := load()
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	ebw, _ := egobw.TopK(g, *k)
+	tEBW := time.Since(t0)
+	t0 = time.Now()
+	bw := egobw.BetweennessTopK(g, *k, *threads)
+	tBW := time.Since(t0)
+	fmt.Printf("# TopEBW %v   TopBW %v   overlap %.0f%%\n",
+		tEBW.Round(time.Microsecond), tBW.Round(time.Microsecond),
+		egobw.Overlap(ebw, bw)*100)
+	fmt.Printf("%4s %22s %22s\n", "rank", "ego-betweenness", "betweenness")
+	for i := 0; i < *k && i < len(ebw) && i < len(bw); i++ {
+		fmt.Printf("%4d   v=%-8d %9.2f   v=%-8d %9.2f\n",
+			i+1, ebw[i].V, ebw[i].CB, bw[i].V, bw[i].CB)
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	load := loadFlags(fs)
+	fs.Parse(args)
+	g, err := load()
+	if err != nil {
+		return err
+	}
+	fmt.Println(egobw.Stats(g))
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTestGraph writes a small edge list and returns its path.
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	content := "# test graph\n0 1\n0 2\n0 3\n1 2\n2 3\n3 4\n4 5\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCmdTopK(t *testing.T) {
+	path := writeTestGraph(t)
+	for _, algo := range []string{"opt", "base"} {
+		if err := cmdTopK([]string{"-in", path, "-k", "3", "-algo", algo}); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+	if err := cmdTopK([]string{"-in", path, "-algo", "nope"}); err == nil {
+		t.Error("unknown algo must error")
+	}
+	if err := cmdTopK([]string{"-k", "3"}); err == nil {
+		t.Error("missing input must error")
+	}
+	if err := cmdTopK([]string{"-in", path, "-dataset", "ir"}); err == nil {
+		t.Error("both inputs must error")
+	}
+}
+
+func TestCmdAll(t *testing.T) {
+	path := writeTestGraph(t)
+	for _, strat := range []string{"edge", "vertex"} {
+		if err := cmdAll([]string{"-in", path, "-strategy", strat, "-threads", "2"}); err != nil {
+			t.Errorf("%s: %v", strat, err)
+		}
+	}
+	if err := cmdAll([]string{"-in", path, "-strategy", "nope"}); err == nil {
+		t.Error("unknown strategy must error")
+	}
+}
+
+func TestCmdVertex(t *testing.T) {
+	path := writeTestGraph(t)
+	if err := cmdVertex([]string{"-in", path, "-v", "0"}); err != nil {
+		t.Error(err)
+	}
+	if err := cmdVertex([]string{"-in", path, "-v", "99"}); err == nil {
+		t.Error("out-of-range vertex must error")
+	}
+	if err := cmdVertex([]string{"-in", path}); err == nil {
+		t.Error("missing -v must error")
+	}
+}
+
+func TestCmdCompare(t *testing.T) {
+	path := writeTestGraph(t)
+	if err := cmdCompare([]string{"-in", path, "-k", "3"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmdStats(t *testing.T) {
+	path := writeTestGraph(t)
+	if err := cmdStats([]string{"-in", path}); err != nil {
+		t.Error(err)
+	}
+	if err := cmdStats([]string{"-in", filepath.Join(t.TempDir(), "missing.txt")}); err == nil {
+		t.Error("missing file must error")
+	}
+}

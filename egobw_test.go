@@ -1,0 +1,156 @@
+package egobw_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	egobw "repro"
+	"repro/internal/paperex"
+)
+
+// TestPublicQuickstart exercises the README quickstart path end to end.
+func TestPublicQuickstart(t *testing.T) {
+	g, err := egobw.NewGraph(int32(paperex.NumVertices), paperex.Edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, st := egobw.TopK(g, 5)
+	if len(top) != 5 || st.Computed == 0 {
+		t.Fatalf("top = %v, stats = %+v", top, st)
+	}
+	for i, want := range paperex.Top5 {
+		if top[i].V != want {
+			t.Errorf("rank %d = %d, want %d", i+1, top[i].V, want)
+		}
+	}
+}
+
+func TestPublicOptions(t *testing.T) {
+	g := mustPaper(t)
+	var st egobw.SearchStats
+	base, _ := egobw.TopK(g, 5, egobw.WithBaseSearch(), egobw.WithStats(&st))
+	if st.Computed != paperex.BaseSearchComputed {
+		t.Errorf("base computed %d, want %d", st.Computed, paperex.BaseSearchComputed)
+	}
+	opt, _ := egobw.TopK(g, 5, egobw.WithTheta(1.3))
+	for i := range base {
+		if math.Abs(base[i].CB-opt[i].CB) > 1e-9 {
+			t.Errorf("rank %d: base %v, opt %v", i, base[i].CB, opt[i].CB)
+		}
+	}
+}
+
+func TestPublicComputeVariants(t *testing.T) {
+	g := mustPaper(t)
+	all := egobw.ComputeAll(g)
+	par, pst := egobw.ComputeAllParallel(g, 2, egobw.EdgePEBW)
+	if pst.Threads != 2 {
+		t.Fatalf("stats = %+v", pst)
+	}
+	for v := range all {
+		if math.Abs(all[v]-par[v]) > 1e-9 {
+			t.Errorf("parallel CB(%d) = %v, want %v", v, par[v], all[v])
+		}
+		if single := egobw.EgoBetweenness(g, int32(v)); math.Abs(single-all[v]) > 1e-9 {
+			t.Errorf("single CB(%d) = %v, want %v", v, single, all[v])
+		}
+	}
+}
+
+func TestPublicMaintainers(t *testing.T) {
+	m := egobw.NewMaintainer(mustPaper(t))
+	if err := m.InsertEdge(paperex.I, paperex.K); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.CB(paperex.I)-10.5) > 1e-9 {
+		t.Errorf("CB(i) = %v, want 10.5", m.CB(paperex.I))
+	}
+	lt := egobw.NewLazyTopK(mustPaper(t), 1)
+	if err := lt.InsertEdge(paperex.I, paperex.K); err != nil {
+		t.Fatal(err)
+	}
+	if res := lt.Results(); res[0].V != paperex.I {
+		t.Errorf("lazy top-1 = %v, want i", res)
+	}
+}
+
+func TestPublicBetweennessAndOverlap(t *testing.T) {
+	g := egobw.GenerateBA(300, 3, 5)
+	ebw, _ := egobw.TopK(g, 20)
+	bw := egobw.BetweennessTopK(g, 20, 2)
+	ov := egobw.Overlap(ebw, bw)
+	if ov < 0.3 {
+		t.Errorf("EBW/BW top-20 overlap = %v; expected substantial agreement", ov)
+	}
+	bc := egobw.Betweenness(g)
+	if len(bc) != 300 {
+		t.Fatalf("betweenness size %d", len(bc))
+	}
+}
+
+func TestPublicIO(t *testing.T) {
+	g := mustPaper(t)
+	var buf bytes.Buffer
+	if err := egobw.SaveEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := egobw.LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumEdges() != g.NumEdges() {
+		t.Fatal("round trip lost edges")
+	}
+	if _, err := egobw.LoadEdgeList(strings.NewReader("not numbers\n")); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestPublicGeneratorsAndDatasets(t *testing.T) {
+	if len(egobw.DatasetNames()) != 7 {
+		t.Fatalf("datasets: %v", egobw.DatasetNames())
+	}
+	if _, err := egobw.LoadDataset("ir"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := egobw.LoadDataset("bogus"); err == nil {
+		t.Fatal("want unknown-dataset error")
+	}
+	for name, g := range map[string]*egobw.Graph{
+		"er": egobw.GenerateER(100, 200, 1),
+		"ba": egobw.GenerateBA(100, 2, 1),
+		"cl": egobw.GenerateChungLu(100, 2.5, 5, 0, 1),
+		"ws": egobw.GenerateWS(100, 4, 0.1, 1),
+		"af": egobw.GenerateAffiliation(100, 40, 4, 1, 1),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	sub := egobw.SampleEdges(egobw.GenerateER(100, 400, 2), 0.5, 3)
+	if sub.NumEdges() == 0 || sub.NumEdges() >= 400 {
+		t.Errorf("edge sample size %d", sub.NumEdges())
+	}
+	vs, ids := egobw.SampleVertices(egobw.GenerateER(100, 400, 2), 0.5, 3)
+	if int32(len(ids)) != vs.NumVertices() {
+		t.Error("vertex sample mapping size mismatch")
+	}
+}
+
+func TestPublicStats(t *testing.T) {
+	st := egobw.Stats(mustPaper(t))
+	if st.N != int32(paperex.NumVertices) || st.M != 30 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func mustPaper(t *testing.T) *egobw.Graph {
+	t.Helper()
+	g, err := egobw.NewGraph(int32(paperex.NumVertices), paperex.Edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,76 @@
+package egobw_test
+
+import (
+	"fmt"
+
+	egobw "repro"
+)
+
+// The running example of the paper (Fig. 1): find the three vertices with
+// the highest ego-betweenness.
+func ExampleTopK() {
+	edges := [][2]int32{
+		{0, 1}, {0, 2}, {0, 3}, {0, 5},
+		{1, 2}, {1, 3}, {1, 4},
+		{2, 3}, {2, 4}, {2, 5}, {2, 6}, {2, 7},
+		{3, 6}, {3, 7}, {3, 8},
+		{4, 6}, {4, 8}, {4, 9},
+		{5, 7}, {5, 8}, {5, 10}, {5, 13},
+		{6, 8},
+		{7, 8},
+		{8, 9},
+		{9, 10},
+		{13, 14}, {13, 15}, {13, 11}, {13, 12},
+	}
+	g, err := egobw.NewGraph(16, edges)
+	if err != nil {
+		panic(err)
+	}
+	top, _ := egobw.TopK(g, 3)
+	for i, r := range top {
+		fmt.Printf("%d: vertex %d CB=%.2f\n", i+1, r.V, r.CB)
+	}
+	// Output:
+	// 1: vertex 5 CB=11.00
+	// 2: vertex 13 CB=10.00
+	// 3: vertex 8 CB=8.00
+}
+
+// Maintaining exact ego-betweennesses while the graph changes.
+func ExampleMaintainer() {
+	g, _ := egobw.NewGraph(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}})
+	m := egobw.NewMaintainer(g) // star: center 0 has CB = 3
+	fmt.Printf("CB(0) = %.1f\n", m.CB(0))
+	_ = m.InsertEdge(1, 2) // pair (1,2) now adjacent: one unit less
+	fmt.Printf("CB(0) = %.1f\n", m.CB(0))
+	// Output:
+	// CB(0) = 3.0
+	// CB(0) = 2.0
+}
+
+// Tracking only the top-k lazily under updates.
+func ExampleLazyTopK() {
+	g, _ := egobw.NewGraph(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {3, 4}})
+	lt := egobw.NewLazyTopK(g, 1)
+	fmt.Printf("top: vertex %d\n", lt.Results()[0].V)
+	// Wire vertex 3 into a bigger bridge than 0.
+	_ = lt.InsertEdge(3, 1)
+	_ = lt.InsertEdge(3, 2)
+	top := lt.Results()[0]
+	fmt.Printf("top: vertex %d CB=%.2f\n", top.V, top.CB)
+	// Output:
+	// top: vertex 0
+	// top: vertex 3 CB=3.50
+}
+
+// Computing a single vertex's ego-betweenness without touching the rest of
+// the graph.
+func ExampleEgoBetweenness() {
+	// A path a-b-c: the middle vertex routes one pair.
+	g, _ := egobw.NewGraph(3, [][2]int32{{0, 1}, {1, 2}})
+	fmt.Println(egobw.EgoBetweenness(g, 1))
+	fmt.Println(egobw.EgoBetweenness(g, 0))
+	// Output:
+	// 1
+	// 0
+}

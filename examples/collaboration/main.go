@@ -1,0 +1,64 @@
+// Collaboration-network case study: the paper's Table III/IV experiment.
+//
+// Loads the DB co-authorship analog (overlapping community cliques, like
+// DBLP), finds the top-10 "scholars" by ego-betweenness and by classic
+// betweenness, and prints them side by side with the overlap marked — the
+// bridge-scholar effect of the paper's Section VI-B.
+//
+//	go run ./examples/collaboration
+package main
+
+import (
+	"fmt"
+	"time"
+
+	egobw "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	g, err := egobw.LoadDataset("db")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("co-authorship graph:", egobw.Stats(g))
+
+	t0 := time.Now()
+	ebw, _ := egobw.TopK(g, 10)
+	tEBW := time.Since(t0)
+	t0 = time.Now()
+	bw := egobw.BetweennessTopK(g, 10, 0)
+	tBW := time.Since(t0)
+
+	inBW := map[int32]bool{}
+	for _, r := range bw {
+		inBW[r.V] = true
+	}
+	inEBW := map[int32]bool{}
+	for _, r := range ebw {
+		inEBW[r.V] = true
+	}
+
+	fmt.Printf("\nTopEBW %v vs TopBW %v (%.0fx faster)\n",
+		tEBW.Round(time.Millisecond), tBW.Round(time.Millisecond),
+		float64(tBW)/float64(tEBW))
+	fmt.Printf("\n%-28s %4s %10s | %-28s %4s %12s\n",
+		"Top-10 by ego-betweenness", "d", "CB", "Top-10 by betweenness", "d", "BT")
+	for i := 0; i < 10; i++ {
+		e, b := ebw[i], bw[i]
+		fmt.Printf("%s%-27s %4d %10.1f | %s%-27s %4d %12.1f\n",
+			mark(inBW[e.V]), dataset.ScholarName(e.V), g.Degree(e.V), e.CB,
+			mark(inEBW[b.V]), dataset.ScholarName(b.V), g.Degree(b.V), b.CB)
+	}
+	fmt.Printf("\n'*' marks scholars in both top-10 lists: overlap %.0f%%\n",
+		egobw.Overlap(ebw, bw)*100)
+	fmt.Println("(the paper reports 80% on DB and 90% on IR — high-ego-betweenness")
+	fmt.Println("scholars are the bridges between research communities)")
+}
+
+func mark(b bool) string {
+	if b {
+		return "*"
+	}
+	return " "
+}

@@ -1,0 +1,73 @@
+package egobw_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	egobw "repro"
+)
+
+func TestPublicLoadEdgeListFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("0 1\n1 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := egobw.LoadEdgeListFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+	if _, err := egobw.LoadEdgeListFile(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestPublicApproxBetweenness(t *testing.T) {
+	g := egobw.GenerateBA(400, 3, 9)
+	exact := egobw.Betweenness(g)
+	approx := egobw.BetweennessApprox(g, 100, 7, 2)
+	rho, err := egobw.SpearmanRho(exact, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.7 {
+		t.Fatalf("rho = %v; approximation should track exact ranking", rho)
+	}
+}
+
+func TestPublicJaccard(t *testing.T) {
+	a := []egobw.Result{{V: 1}, {V: 2}, {V: 3}}
+	b := []egobw.Result{{V: 2}, {V: 3}, {V: 4}}
+	if got := egobw.Jaccard(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("jaccard = %v, want 0.5", got)
+	}
+}
+
+// TestEBWApproxBWComparison is the effectiveness ablation the approx
+// extension enables: ego-betweenness against exact BW and against sampled
+// BW on the same graph. The point of the paper survives the ablation —
+// ego-betweenness agrees with exact betweenness about as well as a
+// substantial pivot sample does.
+func TestEBWApproxBWComparison(t *testing.T) {
+	g := egobw.GenerateChungLu(1200, 2.3, 8, 150, 88)
+	ebw := egobw.ComputeAll(g)
+	bw := egobw.Betweenness(g)
+	approx := egobw.BetweennessApprox(g, 300, 1, 0)
+
+	rhoEgo, err := egobw.SpearmanRho(bw, ebw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhoApprox, err := egobw.SpearmanRho(bw, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("spearman vs exact BW: ego=%.3f approx(25%% pivots)=%.3f", rhoEgo, rhoApprox)
+	if rhoEgo < 0.6 {
+		t.Errorf("ego-betweenness rank correlation %v too weak", rhoEgo)
+	}
+}

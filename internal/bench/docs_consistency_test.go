@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the package directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("module root not found")
+		}
+		dir = parent
+	}
+}
+
+// TestDocsCoverEveryExperiment: DESIGN.md and EXPERIMENTS.md must mention
+// every experiment id the harness registers, so the documentation cannot
+// silently drift from the code.
+func TestDocsCoverEveryExperiment(t *testing.T) {
+	root := repoRoot(t)
+	for _, doc := range []string{"DESIGN.md", "EXPERIMENTS.md"} {
+		raw, err := os.ReadFile(filepath.Join(root, doc))
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		text := strings.ToLower(string(raw))
+		for _, e := range Experiments {
+			// fig6 appears as "fig6" or "Fig. 6"; accept either spelling.
+			spaced := strings.Replace(e.ID, "fig", "fig. ", 1)
+			spaced = strings.Replace(spaced, "table", "table ", 1)
+			if !strings.Contains(text, e.ID) && !strings.Contains(text, spaced) {
+				t.Errorf("%s does not mention experiment %q", doc, e.ID)
+			}
+		}
+	}
+}
+
+// TestReadmeMentionsDeliverables: the README must point at the design doc,
+// the experiment record, and the three CLI tools.
+func TestReadmeMentionsDeliverables(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join(repoRoot(t), "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"DESIGN.md", "EXPERIMENTS.md",
+		"cmd/egobw", "cmd/benchtab", "cmd/datagen",
+		"examples/quickstart",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("README.md does not mention %s", want)
+		}
+	}
+}
+
+// TestRawOutputsExist: the recorded harness outputs referenced by
+// EXPERIMENTS.md must be present in the repository.
+func TestRawOutputsExist(t *testing.T) {
+	root := repoRoot(t)
+	for _, f := range []string{"benchtab_part1.txt", "benchtab_part2.txt"} {
+		info, err := os.Stat(filepath.Join(root, f))
+		if err != nil {
+			t.Fatalf("%s missing: %v", f, err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s is empty", f)
+		}
+	}
+}

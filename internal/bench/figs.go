@@ -1,0 +1,306 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"repro/internal/brandes"
+	"repro/internal/dataset"
+	"repro/internal/dynamic"
+	"repro/internal/ego"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// Fig6Row is one (dataset, k) point: search runtimes for both algorithms.
+type Fig6Row struct {
+	Dataset  string
+	K        int
+	BaseTime time.Duration
+	OptTime  time.Duration
+}
+
+// Fig6 compares BaseBSearch and OptBSearch runtimes across k (paper
+// Fig. 6). The paper's claim: OptBSearch wins on every dataset and k,
+// by roughly 6-23x.
+func Fig6(cfg Config) []Fig6Row {
+	fmt.Fprintf(cfg.Out, "%-12s %8s %12s %12s %8s\n", "Dataset", "k", "BaseBSearch", "OptBSearch", "ratio")
+	var rows []Fig6Row
+	for _, name := range cfg.Datasets {
+		g := dataset.MustLoad(name)
+		for _, k := range cfg.Ks {
+			row := Fig6Row{Dataset: name, K: k}
+			row.BaseTime = timeIt(func() { ego.BaseBSearch(g, k) })
+			row.OptTime = timeIt(func() { ego.OptBSearch(g, k, 1.05) })
+			rows = append(rows, row)
+			fmt.Fprintf(cfg.Out, "%-12s %8d %12s %12s %8.1fx\n", name, k,
+				ms(row.BaseTime), ms(row.OptTime),
+				float64(row.BaseTime)/float64(row.OptTime))
+		}
+	}
+	return rows
+}
+
+// Fig7Row is one (dataset, theta) runtime point.
+type Fig7Row struct {
+	Dataset string
+	Theta   float64
+	Time    time.Duration
+}
+
+// Fig7 sweeps OptBSearch's gradient ratio θ (paper Fig. 7). The paper's
+// claim: runtime varies only slightly with θ, mildly favoring 1.05.
+func Fig7(cfg Config) []Fig7Row {
+	fmt.Fprintf(cfg.Out, "%-12s %8s %12s\n", "Dataset", "theta", "OptBSearch")
+	var rows []Fig7Row
+	k := 500
+	if len(cfg.Ks) > 0 {
+		k = cfg.Ks[len(cfg.Ks)-1]
+	}
+	for _, name := range cfg.ThetaDS {
+		g := dataset.MustLoad(name)
+		for _, theta := range cfg.Thetas {
+			d := timeIt(func() { ego.OptBSearch(g, k, theta) })
+			rows = append(rows, Fig7Row{Dataset: name, Theta: theta, Time: d})
+			fmt.Fprintf(cfg.Out, "%-12s %8.2f %12s\n", name, theta, ms(d))
+		}
+	}
+	return rows
+}
+
+// Fig8Row reports average per-update latencies on one dataset, plus the
+// two maintainers' memory footprints and the lazy recompute rate (the
+// mechanism behind the paper's lazy-update win; see EXPERIMENTS.md for why
+// wall-clock ordering differs at analog scale).
+type Fig8Row struct {
+	Dataset        string
+	LocalInsert    time.Duration
+	LazyInsert     time.Duration
+	LocalDelete    time.Duration
+	LazyDelete     time.Duration
+	LocalMemBytes  int64
+	LazyMemBytes   int64
+	LazyRecomputes float64 // recomputed vertices per update
+}
+
+// Fig8 measures the maintenance algorithms on random edge updates (paper
+// Fig. 8): for each dataset, cfg.Updates random existing edges are deleted
+// and re-inserted (Local* maintains all vertices, Lazy* maintains the
+// top-k). The paper's claims: lazy beats local, insert and delete cost
+// about the same, and everything stays far below a second per update.
+func Fig8(cfg Config) []Fig8Row {
+	fmt.Fprintf(cfg.Out, "%-12s %14s %14s %14s %14s %10s %10s %9s\n",
+		"Dataset", "LocalInsert", "LazyInsert", "LocalDelete", "LazyDelete",
+		"local-mem", "lazy-mem", "recomp/op")
+	var rows []Fig8Row
+	for _, name := range cfg.Datasets {
+		g := dataset.MustLoad(name)
+		edges := pickEdges(g, cfg.Updates, 0xF16)
+		row := Fig8Row{Dataset: name}
+
+		m := dynamic.NewMaintainer(g)
+		row.LocalDelete = perOp(len(edges), func() {
+			for _, e := range edges {
+				must(m.DeleteEdge(e[0], e[1]))
+			}
+		})
+		row.LocalInsert = perOp(len(edges), func() {
+			for _, e := range edges {
+				must(m.InsertEdge(e[0], e[1]))
+			}
+		})
+		row.LocalMemBytes = m.MemoryFootprint()
+
+		lt := dynamic.NewLazyTopK(g, cfg.UpdateK)
+		row.LazyDelete = perOp(len(edges), func() {
+			for _, e := range edges {
+				must(lt.DeleteEdge(e[0], e[1]))
+			}
+		})
+		row.LazyInsert = perOp(len(edges), func() {
+			for _, e := range edges {
+				must(lt.InsertEdge(e[0], e[1]))
+			}
+		})
+		row.LazyMemBytes = lt.MemoryFootprint()
+		row.LazyRecomputes = float64(lt.Stats.Recomputed) / float64(2*len(edges))
+		rows = append(rows, row)
+		fmt.Fprintf(cfg.Out, "%-12s %14s %14s %14s %14s %9.1fMB %9.2fMB %9.2f\n", name,
+			perOpStr(row.LocalInsert), perOpStr(row.LazyInsert),
+			perOpStr(row.LocalDelete), perOpStr(row.LazyDelete),
+			float64(row.LocalMemBytes)/1e6, float64(row.LazyMemBytes)/1e6,
+			row.LazyRecomputes)
+	}
+	return rows
+}
+
+func perOp(n int, fn func()) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	return timeIt(fn) / time.Duration(n)
+}
+
+func perOpStr(d time.Duration) string {
+	return fmt.Sprintf("%.3fms/op", float64(d.Microseconds())/1000)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// pickEdges samples n distinct existing edges uniformly.
+func pickEdges(g *graph.Graph, n int, seed uint64) [][2]int32 {
+	all := g.Edges()
+	rng := rand.New(rand.NewPCG(seed, 1))
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// Fig9Row is one scalability point: runtime on a sampled subgraph.
+type Fig9Row struct {
+	Mode     string // "edges" or "vertices"
+	Fraction float64
+	BaseTime time.Duration
+	OptTime  time.Duration
+}
+
+// Fig9 evaluates scalability on 20%-100% random edge and vertex samples of
+// the scale dataset (paper Fig. 9). The paper's claim: OptBSearch grows
+// smoothly with m and n while BaseBSearch climbs much more sharply.
+func Fig9(cfg Config) []Fig9Row {
+	g := dataset.MustLoad(cfg.ScaleDS)
+	k := 500
+	fmt.Fprintf(cfg.Out, "dataset=%s k=%d\n%-9s %6s %12s %12s\n",
+		cfg.ScaleDS, k, "Mode", "frac", "BaseBSearch", "OptBSearch")
+	var rows []Fig9Row
+	for _, mode := range []string{"edges", "vertices"} {
+		for _, frac := range cfg.Fractions {
+			var sub *graph.Graph
+			if mode == "edges" {
+				sub = graph.SampleEdges(g, frac, 0xF19)
+			} else {
+				sub, _ = graph.SampleVertices(g, frac, 0xF19)
+			}
+			row := Fig9Row{Mode: mode, Fraction: frac}
+			row.BaseTime = timeIt(func() { ego.BaseBSearch(sub, k) })
+			row.OptTime = timeIt(func() { ego.OptBSearch(sub, k, 1.05) })
+			rows = append(rows, row)
+			fmt.Fprintf(cfg.Out, "%-9s %5.0f%% %12s %12s\n",
+				mode, frac*100, ms(row.BaseTime), ms(row.OptTime))
+		}
+	}
+	return rows
+}
+
+// Fig10Row is one (strategy, threads) parallel measurement.
+type Fig10Row struct {
+	Strategy     parallel.Strategy
+	Threads      int
+	Time         time.Duration
+	Speedup      float64 // wall-clock vs the sequential baseline
+	SpeedupBound float64 // machine-independent balance bound at t threads
+}
+
+// Fig10 evaluates VertexPEBW and EdgePEBW across thread counts (paper
+// Fig. 10). The paper's claims: EdgePEBW is faster than VertexPEBW at every
+// t, with speedups approaching 16 at t=16 (on 16 physical cores).
+// Wall-clock speedup saturates at the host's CPU count — this container has
+// one — so the table also reports the machine-independent speedup bound
+// from the work-partition balance (DESIGN.md §5).
+func Fig10(cfg Config) []Fig10Row {
+	g := dataset.MustLoad(cfg.ScaleDS)
+	baseline := timeIt(func() { ego.ComputeAll(g) })
+	fmt.Fprintf(cfg.Out, "dataset=%s sequential=%s\n%-12s %8s %12s %9s %12s\n",
+		cfg.ScaleDS, ms(baseline), "Algorithm", "threads", "time", "speedup", "balance-bnd")
+	var rows []Fig10Row
+	for _, strat := range []parallel.Strategy{parallel.VertexPEBW, parallel.EdgePEBW} {
+		for _, t := range cfg.Threads {
+			_, pst := parallel.ComputeAll(g, t, strat)
+			row := Fig10Row{
+				Strategy:     strat,
+				Threads:      t,
+				Time:         pst.Elapsed,
+				Speedup:      float64(baseline) / float64(pst.Elapsed),
+				SpeedupBound: pst.SpeedupBound(t),
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(cfg.Out, "%-12s %8d %12s %9.2fx %11.2fx\n",
+				strat, t, ms(row.Time), row.Speedup, row.SpeedupBound)
+		}
+	}
+	return rows
+}
+
+// Fig11Row is one effectiveness point: runtimes and top-k overlap.
+type Fig11Row struct {
+	Dataset string
+	K       int
+	BWTime  time.Duration
+	EBWTime time.Duration
+	Overlap float64
+}
+
+// Fig11 compares TopBW (parallel Brandes) against TopEBW (OptBSearch) on
+// runtime and result overlap (paper Fig. 11). The paper's claims: TopEBW is
+// at least two orders of magnitude faster, and the top-k overlap is
+// generally above 60%.
+func Fig11(cfg Config) []Fig11Row {
+	fmt.Fprintf(cfg.Out, "%-12s %8s %12s %12s %9s %9s\n",
+		"Dataset", "k", "TopBW", "TopEBW", "ratio", "overlap")
+	var rows []Fig11Row
+	for _, name := range cfg.EffDS {
+		g := dataset.MustLoad(name)
+		// Brandes' cost is k-independent: compute once per dataset.
+		var bw []ego.Result
+		bwMax := 0
+		for _, k := range cfg.EffKs {
+			if k > bwMax {
+				bwMax = k
+			}
+		}
+		bwTime := timeIt(func() { bw = brandes.TopK(g, bwMax, 0) })
+		for _, k := range cfg.EffKs {
+			var ebw []ego.Result
+			ebwTime := timeIt(func() { ebw, _ = ego.OptBSearch(g, k, 1.05) })
+			row := Fig11Row{
+				Dataset: name, K: k, BWTime: bwTime, EBWTime: ebwTime,
+				Overlap: ego.Overlap(bw[:min(k, len(bw))], ebw),
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(cfg.Out, "%-12s %8d %12s %12s %8.0fx %8.0f%%\n",
+				name, k, ms(row.BWTime), ms(row.EBWTime),
+				float64(row.BWTime)/float64(max64(1, int64(row.EBWTime))), row.Overlap*100)
+		}
+	}
+	return rows
+}
+
+// Fig12 runs the Fig11 protocol on the DB and IR case-study graphs with the
+// paper's k ∈ {10..250} grid (paper Fig. 12).
+func Fig12(cfg Config) []Fig11Row {
+	sub := cfg
+	sub.EffDS = []string{dataset.DB, dataset.IR}
+	sub.EffKs = cfg.CaseKs
+	return Fig11(sub)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

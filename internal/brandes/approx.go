@@ -1,0 +1,72 @@
+package brandes
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// BetweennessApprox estimates betweenness centrality from `pivots` sampled
+// BFS sources (Brandes–Pich style pivot sampling), scaled by n/pivots so the
+// estimates are comparable to exact values. This is the standard cheap
+// alternative to exact Brandes that the paper's related-work section cites
+// (approximate betweenness, e.g. Chehreghani; Furno et al.); the repository
+// includes it so the effectiveness experiments can compare ego-betweenness
+// not just against exact betweenness but also against the approximation at
+// comparable cost — see the ablation benchmark in bench_test.go.
+//
+// Cost: O(pivots · (n + m)) with t parallel workers (t ≤ 0 = GOMAXPROCS).
+// Deterministic for a fixed seed.
+func BetweennessApprox(g *graph.Graph, pivots int, seed uint64, t int) []float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	if pivots <= 0 || int32(pivots) > n {
+		pivots = int(n)
+	}
+	if t <= 0 {
+		t = runtime.GOMAXPROCS(0)
+	}
+	// Sample pivot sources without replacement.
+	rng := rand.New(rand.NewPCG(seed, 0xA110C8))
+	perm := rng.Perm(int(n))
+	sources := perm[:pivots]
+
+	partial := make([][]float64, t)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < t; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			acc := make([]float64, n)
+			w := newWorker(g)
+			for {
+				idx := cursor.Add(1) - 1
+				if idx >= int64(len(sources)) {
+					break
+				}
+				w.accumulate(int32(sources[idx]), acc)
+			}
+			partial[id] = acc
+		}(i)
+	}
+	wg.Wait()
+	bc := make([]float64, n)
+	for _, acc := range partial {
+		for v, x := range acc {
+			bc[v] += x
+		}
+	}
+	// Scale sampled directed dependencies up to the full-source estimate,
+	// then halve for the undirected pair convention (as in Betweenness).
+	scale := float64(n) / float64(pivots) / 2
+	for v := range bc {
+		bc[v] *= scale
+	}
+	return bc
+}

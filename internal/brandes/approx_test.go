@@ -1,0 +1,74 @@
+package brandes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/metrics"
+)
+
+// TestApproxAllPivotsIsExact: sampling every vertex as a pivot must
+// reproduce exact betweenness (scale factor 1).
+func TestApproxAllPivotsIsExact(t *testing.T) {
+	g := gen.ErdosRenyi(120, 400, 3)
+	exact := Betweenness(g)
+	approx := BetweennessApprox(g, int(g.NumVertices()), 9, 2)
+	for v := range exact {
+		if math.Abs(exact[v]-approx[v]) > 1e-6 {
+			t.Fatalf("bc(%d) = %v, exact %v", v, approx[v], exact[v])
+		}
+	}
+}
+
+// TestApproxRankQuality: with a quarter of the sources sampled, the
+// estimated ranking must still correlate strongly with the exact one.
+func TestApproxRankQuality(t *testing.T) {
+	g := gen.BarabasiAlbert(800, 3, 5)
+	exact := Betweenness(g)
+	approx := BetweennessApprox(g, 200, 17, 0)
+	rho, err := metrics.SpearmanRho(exact, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho < 0.8 {
+		t.Fatalf("spearman rho = %v, want ≥ 0.8 for 25%% pivots", rho)
+	}
+}
+
+// TestApproxDeterministicSeed: same seed, same estimate; different seed,
+// (almost surely) different estimate.
+func TestApproxDeterministicSeed(t *testing.T) {
+	g := gen.ErdosRenyi(150, 500, 4)
+	a := BetweennessApprox(g, 30, 42, 2)
+	b := BetweennessApprox(g, 30, 42, 4) // thread count must not matter
+	diff := false
+	for v := range a {
+		if math.Abs(a[v]-b[v]) > 1e-9 {
+			diff = true
+		}
+	}
+	if diff {
+		t.Fatal("same seed produced different estimates across thread counts")
+	}
+	c := BetweennessApprox(g, 30, 43, 2)
+	same := true
+	for v := range a {
+		if math.Abs(a[v]-c[v]) > 1e-9 {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical estimates")
+	}
+}
+
+func TestApproxDegenerate(t *testing.T) {
+	g := gen.ErdosRenyi(10, 15, 6)
+	if got := BetweennessApprox(g, 0, 1, 1); len(got) != 10 {
+		t.Fatalf("pivots=0 must clamp to n; got %d values", len(got))
+	}
+	if got := BetweennessApprox(g, 1000, 1, 1); len(got) != 10 {
+		t.Fatalf("pivots>n must clamp to n; got %d values", len(got))
+	}
+}

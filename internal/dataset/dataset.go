@@ -1,0 +1,199 @@
+// Package dataset is the registry of benchmark graphs: seeded synthetic
+// analogs of the paper's five SNAP datasets (Table I) and the two DBLP
+// case-study subgraphs (Section VI-B). DESIGN.md §5 records the substitution
+// rationale; the short version is that the experiments measure effects of
+// degree shape, skew, and triangle density, all of which the generator
+// parameters below control, so the paper's qualitative results survive the
+// scale-down.
+//
+// Sizes default to laptop scale and multiply with the EGOBW_SCALE
+// environment variable (float, e.g. EGOBW_SCALE=4). Graphs are generated on
+// first use and cached in memory for the life of the process.
+package dataset
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"sync"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// Dataset names, mirroring Table I plus the two case-study subgraphs.
+const (
+	Youtube     = "youtube"
+	WikiTalk    = "wikitalk"
+	DBLP        = "dblp"
+	Pokec       = "pokec"
+	LiveJournal = "livejournal"
+	DB          = "db" // database/data-mining co-authorship subgraph
+	IR          = "ir" // information-retrieval co-authorship subgraph
+)
+
+// TableOne lists the five main datasets in the paper's Table I order.
+var TableOne = []string{Youtube, WikiTalk, DBLP, Pokec, LiveJournal}
+
+// CaseStudy lists the Section VI-B subgraphs.
+var CaseStudy = []string{DB, IR}
+
+// Info describes a registry entry.
+type Info struct {
+	Name        string
+	Description string // what it stands in for
+	PaperN      int64  // vertices in the paper's dataset
+	PaperM      int64  // edges in the paper's dataset
+	PaperDMax   int64
+	build       func(scale float64) *graph.Graph
+}
+
+var registry = map[string]Info{
+	Youtube: {
+		Name:        Youtube,
+		Description: "social network (Barabási–Albert heavy tail, avg deg ~5.3)",
+		PaperN:      1134890, PaperM: 2987624, PaperDMax: 28754,
+		build: func(s float64) *graph.Graph {
+			n := scaleN(20000, s)
+			return gen.ChungLu(n, 2.2, 5.3, n/25, dsSeed(1))
+		},
+	},
+	WikiTalk: {
+		Name:        WikiTalk,
+		Description: "communication network (extreme talk-page skew, avg deg ~3.9)",
+		PaperN:      2394385, PaperM: 4659565, PaperDMax: 100029,
+		build: func(s float64) *graph.Graph {
+			n := scaleN(24000, s)
+			return gen.ChungLu(n, 1.9, 3.9, n/12, dsSeed(2))
+		},
+	},
+	DBLP: {
+		Name:        DBLP,
+		Description: "collaboration network (affiliation cliques, avg deg ~9.1)",
+		PaperN:      1843617, PaperM: 8350260, PaperDMax: 2213,
+		build: func(s float64) *graph.Graph {
+			n := scaleN(16000, s)
+			return gen.Affiliation(n, int(n)/2, 5.5, 1, dsSeed(3))
+		},
+	},
+	Pokec: {
+		Name:        Pokec,
+		Description: "social network (dense power law, avg deg ~27)",
+		PaperN:      1632803, PaperM: 22301964, PaperDMax: 14854,
+		build: func(s float64) *graph.Graph {
+			n := scaleN(9000, s)
+			return gen.ChungLu(n, 2.6, 27, n/12, dsSeed(4))
+		},
+	},
+	LiveJournal: {
+		Name:        LiveJournal,
+		Description: "social network (largest, avg deg ~17)",
+		PaperN:      3997962, PaperM: 34681189, PaperDMax: 14815,
+		build: func(s float64) *graph.Graph {
+			n := scaleN(24000, s)
+			return gen.ChungLu(n, 2.45, 17.3, n/16, dsSeed(5))
+		},
+	},
+	DB: {
+		Name:        DB,
+		Description: "DB/DM co-authorship case study (37,177 authors in the paper)",
+		PaperN:      37177, PaperM: 131715, PaperDMax: 412,
+		build: func(s float64) *graph.Graph {
+			n := scaleN(9000, s)
+			return gen.Affiliation(n, int(n)*2/5, 5, 1, dsSeed(6))
+		},
+	},
+	IR: {
+		Name:        IR,
+		Description: "IR co-authorship case study (13,445 authors in the paper)",
+		PaperN:      13445, PaperM: 37428, PaperDMax: 2510,
+		build: func(s float64) *graph.Graph {
+			n := scaleN(4500, s)
+			return gen.Affiliation(n, int(n)*2/5, 4.5, 1, dsSeed(7))
+		},
+	},
+}
+
+// dsSeed derives per-dataset generator seeds.
+func dsSeed(i uint64) uint64 { return 0xe60b<<16 | i }
+
+func scaleN(base int32, s float64) int32 {
+	n := int32(float64(base) * s)
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// Scale returns the EGOBW_SCALE multiplier (default 1.0).
+func Scale() float64 {
+	if v := os.Getenv("EGOBW_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 1.0
+}
+
+// Names returns all registered dataset names.
+func Names() []string {
+	return append(append([]string(nil), TableOne...), CaseStudy...)
+}
+
+// Describe returns the registry entry for name.
+func Describe(name string) (Info, error) {
+	info, ok := registry[name]
+	if !ok {
+		return Info{}, fmt.Errorf("dataset: unknown name %q (have %v)", name, Names())
+	}
+	return info, nil
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*graph.Graph{}
+)
+
+// Load returns the named dataset at the current EGOBW_SCALE, generating it
+// on first use.
+func Load(name string) (*graph.Graph, error) {
+	info, err := Describe(name)
+	if err != nil {
+		return nil, err
+	}
+	scale := Scale()
+	key := fmt.Sprintf("%s@%g", name, scale)
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if g, ok := cache[key]; ok {
+		return g, nil
+	}
+	g := info.build(scale)
+	cache[key] = g
+	return g, nil
+}
+
+// MustLoad is Load that panics on unknown names; for the bench harness.
+func MustLoad(name string) *graph.Graph {
+	g, err := Load(name)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ScholarName returns a deterministic pseudonym for vertex v of a
+// case-study graph, used by the Table III/IV reproduction. Real author
+// names are not available offline; the tables' point — the overlap between
+// the top-10 by ego-betweenness and by betweenness — is a property of the
+// graph, not the labels.
+func ScholarName(v int32) string {
+	first := []string{"Ada", "Grace", "Alan", "Edsger", "Barbara", "Donald",
+		"Leslie", "Tony", "John", "Frances", "Ken", "Dennis", "Radia", "Shafi"}
+	last := []string{"Tanaka", "Okafor", "Silva", "Novak", "Haddad", "Kim",
+		"Garcia", "Ivanov", "Chen", "Mbeki", "Larsen", "Rossi", "Patel", "Dubois"}
+	rng := rand.New(rand.NewPCG(uint64(v), 0x5c401a25))
+	return fmt.Sprintf("%s %s-%04d",
+		first[rng.IntN(len(first))], last[rng.IntN(len(last))], v)
+}

@@ -1,0 +1,103 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Names()) != 7 {
+		t.Fatalf("registry has %d datasets, want 7", len(Names()))
+	}
+	for _, name := range Names() {
+		info, err := Describe(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.PaperN == 0 || info.PaperM == 0 || info.PaperDMax == 0 {
+			t.Errorf("%s: paper statistics missing: %+v", name, info)
+		}
+	}
+	if _, err := Describe("nope"); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+func TestLoadValidatesAndCaches(t *testing.T) {
+	g1, err := Load(Youtube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := Load(Youtube)
+	if g1 != g2 {
+		t.Fatal("second load must return the cached graph")
+	}
+	if _, err := Load("nope"); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+// TestShapeFidelity checks the properties the substitutions are supposed to
+// preserve: relative sizes, skew ordering, and clustering character.
+func TestShapeFidelity(t *testing.T) {
+	stats := map[string]graph.Stats{}
+	for _, name := range Names() {
+		stats[name] = graph.ComputeStats(MustLoad(name))
+	}
+	// WikiTalk is the skew outlier: highest dmax/avg ratio of the five.
+	wkSkew := float64(stats[WikiTalk].DMax) / stats[WikiTalk].AvgDeg
+	for _, other := range []string{Youtube, DBLP, Pokec, LiveJournal} {
+		ratio := float64(stats[other].DMax) / stats[other].AvgDeg
+		if wkSkew < ratio {
+			t.Errorf("wikitalk skew %.1f below %s skew %.1f", wkSkew, other, ratio)
+		}
+	}
+	// The collaboration graphs must be triangle-rich relative to edges.
+	for _, name := range []string{DBLP, DB, IR} {
+		st := stats[name]
+		if float64(st.Triangles) < float64(st.M) {
+			t.Errorf("%s: triangles (%d) below edges (%d); affiliation model should be clique-rich",
+				name, st.Triangles, st.M)
+		}
+	}
+	// Pokec is the densest of the five (paper: avg deg 27 vs 17/9/5/4).
+	for _, other := range []string{Youtube, WikiTalk, DBLP, LiveJournal} {
+		if stats[Pokec].AvgDeg <= stats[other].AvgDeg {
+			t.Errorf("pokec avg deg %.1f not above %s %.1f",
+				stats[Pokec].AvgDeg, other, stats[other].AvgDeg)
+		}
+	}
+}
+
+func TestScholarNameDeterministic(t *testing.T) {
+	a, b := ScholarName(42), ScholarName(42)
+	if a != b {
+		t.Fatal("names must be deterministic")
+	}
+	if ScholarName(42) == ScholarName(43) {
+		t.Fatal("distinct vertices should get distinct names")
+	}
+	if !strings.Contains(a, "-0042") {
+		t.Fatalf("name %q should embed the vertex id", a)
+	}
+}
+
+func TestScaleDefault(t *testing.T) {
+	t.Setenv("EGOBW_SCALE", "")
+	if Scale() != 1.0 {
+		t.Fatalf("default scale = %v", Scale())
+	}
+	t.Setenv("EGOBW_SCALE", "2.5")
+	if Scale() != 2.5 {
+		t.Fatalf("scale = %v, want 2.5", Scale())
+	}
+	t.Setenv("EGOBW_SCALE", "bogus")
+	if Scale() != 1.0 {
+		t.Fatalf("bogus scale must fall back to 1.0")
+	}
+}

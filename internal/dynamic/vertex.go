@@ -1,0 +1,91 @@
+package dynamic
+
+import "fmt"
+
+// Vertex-level updates. Section IV of the paper treats vertex insertion and
+// deletion as a series of edge insertions and deletions; these helpers
+// package that series with the right ordering and error semantics.
+
+// InsertVertex adds a new vertex connected to the given neighbors and
+// returns its id. The neighbor edges are applied one at a time through
+// LocalInsert, so all affected ego-betweennesses stay exact.
+func (m *Maintainer) InsertVertex(neighbors []int32) (int32, error) {
+	v := m.g.NumVertices()
+	for _, u := range neighbors {
+		if u == v {
+			return -1, fmt.Errorf("dynamic: vertex cannot neighbor itself")
+		}
+	}
+	if len(neighbors) == 0 {
+		// An isolated vertex: just grow the state.
+		m.g.EnsureVertices(v + 1)
+		m.growTo(v + 1)
+		return v, nil
+	}
+	for i, u := range neighbors {
+		if err := m.InsertEdge(v, u); err != nil {
+			// Roll back the partial series so the maintainer stays
+			// consistent.
+			for _, w := range neighbors[:i] {
+				_ = m.DeleteEdge(v, w)
+			}
+			return -1, err
+		}
+	}
+	return v, nil
+}
+
+// DeleteVertex removes every edge incident to v, leaving it isolated with
+// CB(v) = 0. Vertex ids are stable, so v itself remains valid (and can be
+// reconnected later).
+func (m *Maintainer) DeleteVertex(v int32) error {
+	if v < 0 || v >= m.g.NumVertices() {
+		return fmt.Errorf("dynamic: vertex %d out of range", v)
+	}
+	nbrs := append([]int32(nil), m.g.Neighbors(v)...)
+	for _, u := range nbrs {
+		if err := m.DeleteEdge(v, u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertVertex adds a new vertex with the given neighbors to the lazily
+// maintained graph and returns its id.
+func (lt *LazyTopK) InsertVertex(neighbors []int32) (int32, error) {
+	v := lt.g.NumVertices()
+	for _, u := range neighbors {
+		if u == v {
+			return -1, fmt.Errorf("dynamic: vertex cannot neighbor itself")
+		}
+	}
+	if len(neighbors) == 0 {
+		lt.g.EnsureVertices(v + 1)
+		lt.growTo(v + 1)
+		return v, nil
+	}
+	for i, u := range neighbors {
+		if err := lt.InsertEdge(v, u); err != nil {
+			for _, w := range neighbors[:i] {
+				_ = lt.DeleteEdge(v, w)
+			}
+			return -1, err
+		}
+	}
+	return v, nil
+}
+
+// DeleteVertex disconnects v entirely under lazy maintenance.
+func (lt *LazyTopK) DeleteVertex(v int32) error {
+	if v < 0 || v >= lt.g.NumVertices() {
+		return fmt.Errorf("dynamic: vertex %d out of range", v)
+	}
+	nbrs := append([]int32(nil), lt.g.Neighbors(v)...)
+	for _, u := range nbrs {
+		if err := lt.DeleteEdge(v, u); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package ego
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pairmap"
+)
+
+// ComputeAll returns the exact ego-betweenness of every vertex. It processes
+// every undirected edge exactly once (markers + credits, see the package
+// comment) and then scores each vertex from its completed evidence map.
+// Time O(α·m·d_max) in the worst case, space O(m·d_max), matching Theorem 2.
+func ComputeAll(g *graph.Graph) []float64 {
+	cb, _ := ComputeAllWithMaps(g)
+	return cb
+}
+
+// ComputeAllWithMaps is ComputeAll but also returns the completed evidence
+// maps, which the dynamic maintenance algorithms take ownership of. maps[v]
+// may be nil when vertex v accumulated no evidence (no edges inside GE(v)
+// beyond the spokes); such vertices have CB(v) = d(d−1)/2.
+func ComputeAllWithMaps(g *graph.Graph) ([]float64, []*pairmap.Map) {
+	e := newEvidence(g)
+	var comm []int32
+	g.EachEdge(func(u, v int32) bool {
+		comm = g.CommonNeighbors(comm[:0], u, v)
+		e.applyEdge(u, v, comm)
+		return true
+	})
+	cb := make([]float64, g.NumVertices())
+	for v := int32(0); v < g.NumVertices(); v++ {
+		cb[v] = ScoreEvidence(g.Degree(v), e.maps[v])
+	}
+	return cb, e.maps
+}
+
+// EgoBetweenness computes CB(u) for a single vertex from scratch using the
+// per-vertex method (the core of the paper's EgoBWCal, Algorithm 3, without
+// cross-vertex sharing). It works on any Adjacency (static or dynamic
+// graph), allocating only a local evidence map, and is the recomputation
+// primitive of the lazy maintainers. Scratch may be nil; passing a reused
+// Scratch avoids per-call allocations.
+func EgoBetweenness(a graph.Adjacency, u int32, s *Scratch) float64 {
+	if s == nil {
+		s = NewScratch(a.NumVertices())
+	}
+	s.ensure(a.NumVertices())
+	nu := a.Neighbors(u)
+	for _, v := range nu {
+		s.mark[v] = true
+	}
+	cb := StaticUB(int32(len(nu)))
+	s.local.Reset()
+	for _, v := range nu {
+		// T = N(v) ∩ N(u), via the mark bitmap.
+		t := s.buf[:0]
+		for _, w := range a.Neighbors(v) {
+			if w != u && s.mark[w] {
+				t = append(t, w)
+			}
+		}
+		// Each ego-internal edge (v, w) removes one unit (markers),
+		// counted once by the w > v filter.
+		for _, w := range t {
+			if w > v {
+				cb--
+			}
+		}
+		// v is a connector for every non-adjacent pair in T.
+		for i := 0; i < len(t); i++ {
+			for j := i + 1; j < len(t); j++ {
+				if !a.HasEdge(t[i], t[j]) {
+					s.local.Add(pairmap.Key(t[i], t[j]), 1)
+				}
+			}
+		}
+		s.buf = t[:0]
+	}
+	s.local.Iterate(func(_ uint64, val int32) bool {
+		cb += 1/float64(val+1) - 1
+		return true
+	})
+	for _, v := range nu {
+		s.mark[v] = false
+	}
+	return cb
+}
+
+// Scratch holds the reusable state of EgoBetweenness.
+type Scratch struct {
+	mark  []bool
+	buf   []int32
+	local *pairmap.Map
+}
+
+// NewScratch returns scratch space for graphs with up to n vertices; it
+// grows automatically if the graph does.
+func NewScratch(n int32) *Scratch {
+	return &Scratch{mark: make([]bool, n), local: pairmap.New()}
+}
+
+func (s *Scratch) ensure(n int32) {
+	for int32(len(s.mark)) < n {
+		s.mark = append(s.mark, false)
+	}
+}

@@ -1,0 +1,176 @@
+// Package ego implements the paper's primary contribution: exact
+// ego-betweenness computation and the two top-k search algorithms
+// BaseBSearch (Algorithm 1) and OptBSearch (Algorithm 2/3).
+//
+// # The quantity
+//
+// Every pair of neighbors u, v of a vertex p is at distance ≤ 2 inside the
+// ego network GE(p) (p itself links them), so Definition 2 collapses to
+//
+//	CB(p) = Σ over pairs {u,v} ⊆ N(p), (u,v) ∉ E of 1 / (c_p(u,v) + 1)
+//
+// where c_p(u,v) = |N(u) ∩ N(v) ∩ N(p)| counts the "connectors" — common
+// neighbors of u and v other than p that lie inside N(p). Adjacent pairs
+// contribute 0, pairs with no connector contribute exactly 1.
+//
+// # The evidence discipline
+//
+// All algorithms share one mechanism: per-vertex evidence maps S_u
+// (pairmap.Map) filled by processing undirected edges exactly once each.
+// Processing edge (a, b) with common-neighbor set C = N(a) ∩ N(b):
+//
+//   - marker: every w ∈ C learns that pair (a, b) is adjacent in GE(w);
+//   - credits: every non-adjacent pair {p, q} ⊆ C gains one connector in
+//     GE(a) (namely b) and one in GE(b) (namely a).
+//
+// A credit (center, pair, connector) is produced only by the edge
+// (center, connector), so processing every edge of GE(u) at most once makes
+// S_u exact; processing only some of them leaves S_u a partial lower bound,
+// which is precisely the "identified information" Lemma 3 turns into the
+// dynamic upper bound of OptBSearch. The same scoring function therefore
+// computes both the exact CB (complete map) and the dynamic bound ũb
+// (partial map).
+package ego
+
+import (
+	"repro/internal/graph"
+	"repro/internal/pairmap"
+)
+
+// Result is a vertex with its exact ego-betweenness.
+type Result struct {
+	V  int32
+	CB float64
+}
+
+// StaticUB is the Lemma 2 upper bound ub(p) = d(d−1)/2: the value of CB(p)
+// if every neighbor pair were non-adjacent with no connectors.
+func StaticUB(d int32) float64 {
+	return float64(d) * float64(d-1) / 2
+}
+
+// ScoreEvidence evaluates the CB formula over an evidence map for a vertex of
+// degree d. With a complete map this is the exact ego-betweenness; with a
+// partial map it is the Lemma 3 dynamic upper bound ũb. A nil map means no
+// evidence and yields the Lemma 2 static bound.
+//
+// Derivation: start from d(d−1)/2 (every pair contributing 1), subtract 1
+// for each identified adjacent pair (marker), and replace 1 by 1/(c+1) for
+// each pair with c identified connectors.
+func ScoreEvidence(d int32, s *pairmap.Map) float64 {
+	cb := StaticUB(d)
+	if s == nil {
+		return cb
+	}
+	s.Iterate(func(_ uint64, val int32) bool {
+		if val == pairmap.Marker {
+			cb--
+		} else {
+			cb += 1/float64(val+1) - 1
+		}
+		return true
+	})
+	return cb
+}
+
+// evidence is the shared engine: lazily allocated S maps, the global
+// processed-edge set, and scratch buffers. Both search algorithms and the
+// all-vertices computation drive it.
+type evidence struct {
+	g         *graph.Graph
+	maps      []*pairmap.Map
+	processed *pairmap.Set
+	done      []bool // exact CB already extracted; skip further credits
+	comm      []int32
+	comm2     []int32
+
+	// Counters for the experiment harness (Table II, ablations).
+	EdgesProcessed int64
+	CreditOps      int64
+	MarkerOps      int64
+}
+
+func newEvidence(g *graph.Graph) *evidence {
+	return &evidence{
+		g:         g,
+		maps:      make([]*pairmap.Map, g.NumVertices()),
+		processed: pairmap.NewSet(1024),
+		done:      make([]bool, g.NumVertices()),
+	}
+}
+
+// mapFor returns the evidence map of v, allocating it on first use.
+func (e *evidence) mapFor(v int32) *pairmap.Map {
+	m := e.maps[v]
+	if m == nil {
+		m = pairmap.NewWithCapacity(int(e.g.Degree(v)))
+		e.maps[v] = m
+	}
+	return m
+}
+
+// applyEdge applies the markers and credits of edge (a, b) whose common
+// neighborhood is comm. Callers must have claimed the edge in e.processed.
+func (e *evidence) applyEdge(a, b int32, comm []int32) {
+	e.EdgesProcessed++
+	key := pairmap.Key(a, b)
+	for _, w := range comm {
+		if !e.done[w] {
+			e.mapFor(w).SetMarker(key)
+			e.MarkerOps++
+		}
+	}
+	creditA := !e.done[a]
+	creditB := !e.done[b]
+	if !creditA && !creditB {
+		return
+	}
+	for i := 0; i < len(comm); i++ {
+		for j := i + 1; j < len(comm); j++ {
+			p, q := comm[i], comm[j]
+			if e.g.HasEdge(p, q) {
+				continue
+			}
+			pk := pairmap.Key(p, q)
+			if creditA {
+				e.mapFor(a).Add(pk, 1)
+				e.CreditOps++
+			}
+			if creditB {
+				e.mapFor(b).Add(pk, 1)
+				e.CreditOps++
+			}
+		}
+	}
+}
+
+// ensureEgo processes every not-yet-processed edge of GE(u): the d(u) edges
+// incident to u and the edges between u's neighbors. Afterwards S_u is exact
+// (see the package comment), so ScoreEvidence(d(u), S_u) = CB(u).
+func (e *evidence) ensureEgo(u int32) {
+	nu := e.g.Neighbors(u)
+	for _, v := range nu {
+		// T = N(v) ∩ N(u) serves two roles: it is the common
+		// neighborhood of edge (u, v), and it lists the ego-internal
+		// edges (v, w).
+		e.comm = graph.IntersectSorted(e.comm[:0], e.g.Neighbors(v), nu)
+		if e.processed.Insert(pairmap.Key(u, v)) {
+			e.applyEdge(u, v, e.comm)
+		}
+		for _, w := range e.comm {
+			if w > v && e.processed.Insert(pairmap.Key(v, w)) {
+				e.comm2 = e.g.CommonNeighbors(e.comm2[:0], v, w)
+				e.applyEdge(v, w, e.comm2)
+			}
+		}
+	}
+}
+
+// finish extracts the exact CB(u) — S_u must be complete — and releases the
+// map, since no later computation reads it.
+func (e *evidence) finish(u int32) float64 {
+	cb := ScoreEvidence(e.g.Degree(u), e.maps[u])
+	e.done[u] = true
+	e.maps[u] = nil
+	return cb
+}

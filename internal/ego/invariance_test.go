@@ -1,0 +1,169 @@
+package ego
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// TestIsomorphismInvariance: relabeling vertices by a random permutation
+// must permute the CB vector identically — ego-betweenness is a structural
+// quantity, independent of identifiers (which also exercises the id-based
+// tie-breaking paths for hidden label dependencies).
+func TestIsomorphismInvariance(t *testing.T) {
+	for seed := uint64(0); seed < 15; seed++ {
+		g := gen.Random(seed, 40)
+		n := g.NumVertices()
+		rng := rand.New(rand.NewPCG(seed, 0x150))
+		perm := make([]int32, n)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		rng.Shuffle(int(n), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+
+		var relabeled [][2]int32
+		g.EachEdge(func(u, v int32) bool {
+			relabeled = append(relabeled, [2]int32{perm[u], perm[v]})
+			return true
+		})
+		h := graph.MustFromEdges(n, relabeled)
+
+		cbG := ComputeAll(g)
+		cbH := ComputeAll(h)
+		for v := int32(0); v < n; v++ {
+			if math.Abs(cbG[v]-cbH[perm[v]]) > 1e-9 {
+				t.Fatalf("seed %d: CB(%d)=%v but CB(perm=%d)=%v",
+					seed, v, cbG[v], perm[v], cbH[perm[v]])
+			}
+		}
+	}
+}
+
+// TestDisjointUnionInvariance: CB values inside one component must not
+// change when an unrelated component is added to the graph.
+func TestDisjointUnionInvariance(t *testing.T) {
+	a := gen.ErdosRenyi(40, 120, 1)
+	b := gen.BarabasiAlbert(30, 2, 2)
+	var union [][2]int32
+	a.EachEdge(func(u, v int32) bool {
+		union = append(union, [2]int32{u, v})
+		return true
+	})
+	off := a.NumVertices()
+	b.EachEdge(func(u, v int32) bool {
+		union = append(union, [2]int32{u + off, v + off})
+		return true
+	})
+	u := graph.MustFromEdges(off+b.NumVertices(), union)
+
+	cbA := ComputeAll(a)
+	cbB := ComputeAll(b)
+	cbU := ComputeAll(u)
+	for v := int32(0); v < off; v++ {
+		if math.Abs(cbU[v]-cbA[v]) > 1e-9 {
+			t.Fatalf("component A vertex %d changed: %v vs %v", v, cbU[v], cbA[v])
+		}
+	}
+	for v := int32(0); v < b.NumVertices(); v++ {
+		if math.Abs(cbU[off+v]-cbB[v]) > 1e-9 {
+			t.Fatalf("component B vertex %d changed: %v vs %v", v, cbU[off+v], cbB[v])
+		}
+	}
+}
+
+// TestKnownClosedForms pins CB on structured families where Definition 2
+// has a closed form.
+func TestKnownClosedForms(t *testing.T) {
+	// Complete bipartite star-of-stars: wheel graph W_n (cycle + hub).
+	// Hub of W_n (n ≥ 5 rim vertices): rim pairs adjacent on the cycle
+	// contribute 0; non-adjacent rim pairs have no common rim neighbor in
+	// the hub's ego except... rim vertices at cycle-distance 2 share one
+	// rim neighbor, so c=1 → 1/2; farther pairs c=0 → 1.
+	for _, n := range []int32{5, 6, 8, 11} {
+		var edges [][2]int32
+		for i := int32(0); i < n; i++ {
+			edges = append(edges, [2]int32{n, i}) // hub = n
+			edges = append(edges, [2]int32{i, (i + 1) % n})
+		}
+		g := graph.MustFromEdges(n+1, edges)
+		cb := ComputeAll(g)
+		pairs := float64(n) * float64(n-1) / 2
+		adjacent := float64(n) // cycle edges
+		distTwo := float64(n)  // each rim vertex has two at distance 2 → n pairs
+		rest := pairs - adjacent - distTwo
+		want := distTwo/2 + rest
+		if n == 5 {
+			// On C5, "distance 2" pairs are all non-adjacent pairs; each
+			// such pair has exactly one rim connector.
+			want = (pairs - adjacent) / 2
+		}
+		if math.Abs(cb[n]-want) > 1e-9 {
+			t.Errorf("wheel W_%d hub: CB=%v, want %v", n, cb[n], want)
+		}
+		// Cross-check the closed form against the BFS oracle.
+		if ref := ReferenceBFS(g, n); math.Abs(cb[n]-ref) > 1e-9 {
+			t.Errorf("wheel W_%d hub: CB=%v, oracle %v", n, cb[n], ref)
+		}
+	}
+
+	// Complete bipartite K_{2,m}: each left vertex sees m pairwise
+	// non-adjacent right vertices, and no right pair has any connector
+	// inside that ego — the other left vertex is not adjacent to this one,
+	// so it is outside the ego network → CB(left) = C(m,2) exactly. Each
+	// right vertex sees only the two left vertices, non-adjacent with no
+	// connector in its ego → CB(right) = 1 exactly.
+	for _, m := range []int32{2, 3, 5, 9} {
+		var edges [][2]int32
+		for r := int32(0); r < m; r++ {
+			edges = append(edges, [2]int32{0, 2 + r}, [2]int32{1, 2 + r})
+		}
+		g := graph.MustFromEdges(m+2, edges)
+		cb := ComputeAll(g)
+		wantLeft := float64(m) * float64(m-1) / 2
+		if math.Abs(cb[0]-wantLeft) > 1e-9 || math.Abs(cb[1]-wantLeft) > 1e-9 {
+			t.Errorf("K_{2,%d} left: CB=%v,%v want %v", m, cb[0], cb[1], wantLeft)
+		}
+		for r := int32(0); r < m; r++ {
+			if math.Abs(cb[2+r]-1) > 1e-9 {
+				t.Errorf("K_{2,%d} right %d: CB=%v want 1", m, r, cb[2+r])
+			}
+			if ref := ReferenceBFS(g, 2+r); math.Abs(cb[2+r]-ref) > 1e-9 {
+				t.Errorf("K_{2,%d} right %d: CB=%v oracle %v", m, r, cb[2+r], ref)
+			}
+		}
+	}
+}
+
+// TestDegreeOnePendantContributesNothing: attaching a pendant leaf to v
+// increases CB(v) by exactly the number of v's other neighbors not adjacent
+// to ... each new pair (leaf, x) has no connector except through v, so the
+// delta is Σ_{x} 1/(c_v(leaf,x)+1) = d_old(v) · 1 (leaf shares no common
+// neighbors with anyone).
+func TestDegreeOnePendantContributesNothing(t *testing.T) {
+	for seed := uint64(30); seed < 40; seed++ {
+		g := gen.Random(seed, 25)
+		n := g.NumVertices()
+		v := int32(0)
+		before := EgoBetweenness(g, v, nil)
+		var edges [][2]int32
+		g.EachEdge(func(a, b int32) bool {
+			edges = append(edges, [2]int32{a, b})
+			return true
+		})
+		edges = append(edges, [2]int32{v, n}) // pendant leaf n
+		h := graph.MustFromEdges(n+1, edges)
+		after := EgoBetweenness(h, v, nil)
+		want := before + float64(g.Degree(v))
+		if math.Abs(after-want) > 1e-9 {
+			t.Fatalf("seed %d: pendant delta: CB %v → %v, want %v",
+				seed, before, after, want)
+		}
+		// And the leaf itself has CB 0.
+		if lf := EgoBetweenness(h, n, nil); lf != 0 {
+			t.Fatalf("leaf CB = %v", lf)
+		}
+	}
+}

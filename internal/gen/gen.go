@@ -1,0 +1,269 @@
+// Package gen provides seeded synthetic graph generators. They stand in for
+// the paper's SNAP datasets (see DESIGN.md §5): every algorithmic effect the
+// paper measures — pruning effectiveness, bound tightness, update locality,
+// parallel load imbalance, EBW/BW overlap — is driven by degree-distribution
+// shape, skew, and triangle density, which these models control directly.
+//
+// All generators are deterministic functions of their parameters and seed.
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+func newRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// ErdosRenyi samples a uniform G(n, m) graph: m distinct undirected edges
+// chosen uniformly at random. Low clustering, no skew — the null model used
+// by tests and ablations.
+func ErdosRenyi(n int32, m int64, seed uint64) *graph.Graph {
+	rng := newRNG(seed)
+	maxM := int64(n) * int64(n-1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	seen := make(map[uint64]struct{}, m)
+	edges := make([][2]int32, 0, m)
+	for int64(len(edges)) < m {
+		u := rng.Int32N(n)
+		v := rng.Int32N(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(uint32(v))
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		edges = append(edges, [2]int32{u, v})
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// BarabasiAlbert grows a preferential-attachment graph: each new vertex
+// attaches to mPer existing vertices chosen proportionally to degree,
+// yielding a power-law tail with exponent ≈ 3 and natural hubs. Models the
+// social-network datasets (Youtube-like).
+func BarabasiAlbert(n int32, mPer int, seed uint64) *graph.Graph {
+	if mPer < 1 {
+		mPer = 1
+	}
+	rng := newRNG(seed)
+	// repeated-endpoint list: picking a uniform element is degree-
+	// proportional sampling.
+	targets := make([]int32, 0, 2*int(n)*mPer)
+	edges := make([][2]int32, 0, int(n)*mPer)
+	start := int32(mPer + 1)
+	// Seed clique over the first mPer+1 vertices.
+	for u := int32(0); u < start && u < n; u++ {
+		for v := u + 1; v < start && v < n; v++ {
+			edges = append(edges, [2]int32{u, v})
+			targets = append(targets, u, v)
+		}
+	}
+	chosen := make(map[int32]struct{}, mPer)
+	picked := make([]int32, 0, mPer)
+	for v := start; v < n; v++ {
+		clear(chosen)
+		picked = picked[:0]
+		for len(chosen) < mPer && len(chosen) < int(v) {
+			t := targets[rng.IntN(len(targets))]
+			if _, dup := chosen[t]; dup {
+				continue
+			}
+			chosen[t] = struct{}{}
+			picked = append(picked, t) // keep draw order: map iteration is nondeterministic
+		}
+		for _, t := range picked {
+			edges = append(edges, [2]int32{v, t})
+			targets = append(targets, v, t)
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// ChungLu samples the Chung–Lu expected-degree model with a power-law weight
+// sequence w_i ∝ (i+i0)^(−1/(gamma−1)) scaled to the requested average
+// degree and capped at maxDeg. Edge (u, v) appears with probability
+// min(1, w_u·w_v / Σw). gamma close to 2 yields extreme hubs (WikiTalk-like
+// talk-page skew); gamma 2.5–3 matches typical social graphs. The sampler is
+// the Miller–Hagberg O(n+m) skipping algorithm over weight-sorted vertices.
+func ChungLu(n int32, gamma, avgDeg float64, maxDeg int32, seed uint64) *graph.Graph {
+	if gamma <= 1.5 {
+		gamma = 1.5
+	}
+	rng := newRNG(seed)
+	// Power-law weights, largest first (i=0 is the biggest hub).
+	w := make([]float64, n)
+	exp := -1.0 / (gamma - 1)
+	var sum float64
+	for i := range w {
+		w[i] = math.Pow(float64(i+1), exp)
+		sum += w[i]
+	}
+	scale := avgDeg * float64(n) / sum
+	capW := float64(maxDeg)
+	sum = 0
+	for i := range w {
+		w[i] *= scale
+		if capW > 0 && w[i] > capW {
+			w[i] = capW
+		}
+		sum += w[i]
+	}
+
+	var edges [][2]int32
+	// Miller–Hagberg: for each u, walk candidate partners v > u with
+	// geometric skips calibrated to p = w_u*w_v/sum capped at 1.
+	for u := int32(0); u < n-1; u++ {
+		v := u + 1
+		p := math.Min(1, w[u]*w[v]/sum)
+		for v < n && p > 0 {
+			if p < 1 {
+				skip := math.Floor(math.Log(rng.Float64()) / math.Log(1-p))
+				if skip > float64(n) {
+					break
+				}
+				v += int32(skip)
+			}
+			if v >= n {
+				break
+			}
+			q := math.Min(1, w[u]*w[v]/sum)
+			if rng.Float64() < q/p {
+				edges = append(edges, [2]int32{u, v})
+			}
+			p = q
+			v++
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// WattsStrogatz builds the small-world model: a ring lattice where every
+// vertex connects to its k nearest neighbors (k even), then each edge is
+// rewired with probability beta. High clustering, near-uniform degrees — the
+// opposite stress profile from ChungLu.
+func WattsStrogatz(n int32, k int, beta float64, seed uint64) *graph.Graph {
+	if k%2 == 1 {
+		k++
+	}
+	rng := newRNG(seed)
+	type edge = [2]int32
+	seen := make(map[uint64]struct{})
+	keyOf := func(u, v int32) uint64 {
+		if u > v {
+			u, v = v, u
+		}
+		return uint64(u)<<32 | uint64(uint32(v))
+	}
+	var edges []edge
+	add := func(u, v int32) bool {
+		if u == v {
+			return false
+		}
+		k := keyOf(u, v)
+		if _, dup := seen[k]; dup {
+			return false
+		}
+		seen[k] = struct{}{}
+		edges = append(edges, edge{u, v})
+		return true
+	}
+	for u := int32(0); u < n; u++ {
+		for d := 1; d <= k/2; d++ {
+			add(u, (u+int32(d))%n)
+		}
+	}
+	// Rewire: replace (u,v) with (u,r) with probability beta.
+	for i := range edges {
+		if rng.Float64() >= beta {
+			continue
+		}
+		u := edges[i][0]
+		for try := 0; try < 16; try++ {
+			r := rng.Int32N(n)
+			if r == u || r == edges[i][1] {
+				continue
+			}
+			if _, dup := seen[keyOf(u, r)]; dup {
+				continue
+			}
+			delete(seen, keyOf(u, edges[i][1]))
+			seen[keyOf(u, r)] = struct{}{}
+			edges[i][1] = r
+			break
+		}
+	}
+	return graph.MustFromEdges(n, edges)
+}
+
+// Affiliation builds a collaboration-style graph from an author–community
+// bipartite affiliation model: nCommunities communities with Zipf-distributed
+// sizes; members of a community form a clique with probability density p
+// (p=1 makes full cliques, like co-authorship on one paper). High clustering
+// and overlapping cliques — the DBLP-like model for the case-study datasets.
+func Affiliation(nAuthors int32, nCommunities int, meanSize float64, p float64, seed uint64) *graph.Graph {
+	rng := newRNG(seed)
+	seen := make(map[uint64]struct{})
+	var edges [][2]int32
+	for c := 0; c < nCommunities; c++ {
+		// Zipf-ish community size ≥ 2: heavy tail over mean size.
+		size := 2 + int(math.Floor(meanSize*math.Pow(rng.Float64(), 2)*2))
+		if size > int(nAuthors) {
+			size = int(nAuthors)
+		}
+		members := make(map[int32]struct{}, size)
+		// Authors join communities with mild preferential skew so some
+		// authors become prolific bridges (the Table III/IV effect).
+		for len(members) < size {
+			a := int32(math.Floor(math.Pow(rng.Float64(), 1.5) * float64(nAuthors)))
+			if a >= nAuthors {
+				a = nAuthors - 1
+			}
+			members[a] = struct{}{}
+		}
+		ms := make([]int32, 0, len(members))
+		for a := range members {
+			ms = append(ms, a)
+		}
+		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+		for i := 0; i < len(ms); i++ {
+			for j := i + 1; j < len(ms); j++ {
+				if p < 1 && rng.Float64() >= p {
+					continue
+				}
+				key := uint64(ms[i])<<32 | uint64(uint32(ms[j]))
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				seen[key] = struct{}{}
+				edges = append(edges, [2]int32{ms[i], ms[j]})
+			}
+		}
+	}
+	return graph.MustFromEdges(nAuthors, edges)
+}
+
+// Random returns a small random graph for property-based tests: an
+// Erdős–Rényi sample whose size and density themselves are drawn from the
+// seed. Guaranteed n ≥ 4.
+func Random(seed uint64, maxN int32) *graph.Graph {
+	rng := newRNG(seed)
+	if maxN < 4 {
+		maxN = 4
+	}
+	n := 4 + rng.Int32N(maxN-3)
+	maxM := int64(n) * int64(n-1) / 2
+	m := rng.Int64N(maxM + 1)
+	return ErdosRenyi(n, m, seed^0xabcdef)
+}

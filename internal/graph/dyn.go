@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DynGraph is a mutable undirected graph with per-vertex sorted adjacency
+// slices. Insertions and deletions cost O(d) for the two endpoint lists; all
+// read operations match the CSR Graph API, so the ego-betweenness kernels
+// that only need reads work on either representation through the Adjacency
+// interface.
+type DynGraph struct {
+	adj [][]int32
+	m   int64
+}
+
+// Adjacency is the minimal read-only view shared by Graph and DynGraph.
+// Algorithm kernels that must run on both representations (for example, the
+// exact per-vertex recomputation inside the lazy top-k maintainer) accept
+// this interface.
+type Adjacency interface {
+	NumVertices() int32
+	NumEdges() int64
+	Degree(v int32) int32
+	Neighbors(v int32) []int32
+	HasEdge(u, v int32) bool
+}
+
+var (
+	_ Adjacency = (*Graph)(nil)
+	_ Adjacency = (*DynGraph)(nil)
+)
+
+// NewDynGraph returns an empty dynamic graph with n isolated vertices.
+func NewDynGraph(n int32) *DynGraph {
+	return &DynGraph{adj: make([][]int32, n)}
+}
+
+// DynFromGraph copies a CSR graph into a mutable representation.
+func DynFromGraph(g *Graph) *DynGraph {
+	adj := make([][]int32, g.NumVertices())
+	for v := int32(0); v < g.NumVertices(); v++ {
+		nbrs := g.Neighbors(v)
+		adj[v] = append(make([]int32, 0, len(nbrs)), nbrs...)
+	}
+	return &DynGraph{adj: adj, m: g.NumEdges()}
+}
+
+// ToGraph freezes the dynamic graph into CSR form.
+func (d *DynGraph) ToGraph() (*Graph, error) {
+	return FromAdjacency(d.adj)
+}
+
+// NumVertices returns the current number of vertices.
+func (d *DynGraph) NumVertices() int32 { return int32(len(d.adj)) }
+
+// NumEdges returns the current number of undirected edges.
+func (d *DynGraph) NumEdges() int64 { return d.m }
+
+// Degree returns the degree of v.
+func (d *DynGraph) Degree(v int32) int32 { return int32(len(d.adj[v])) }
+
+// Neighbors returns the sorted neighbor list of v. The slice aliases
+// internal state: it is valid until the next mutation of v and must not be
+// modified by the caller.
+func (d *DynGraph) Neighbors(v int32) []int32 { return d.adj[v] }
+
+// HasEdge reports whether the undirected edge (u, v) is present.
+func (d *DynGraph) HasEdge(u, v int32) bool {
+	if u == v || u < 0 || v < 0 || int(u) >= len(d.adj) || int(v) >= len(d.adj) {
+		return false
+	}
+	if len(d.adj[u]) > len(d.adj[v]) {
+		u, v = v, u
+	}
+	return containsSorted(d.adj[u], v)
+}
+
+// EnsureVertices grows the vertex set to at least n vertices.
+func (d *DynGraph) EnsureVertices(n int32) {
+	for int32(len(d.adj)) < n {
+		d.adj = append(d.adj, nil)
+	}
+}
+
+// InsertEdge adds the undirected edge (u, v), growing the vertex set if
+// needed. It returns an error for self-loops and for edges already present.
+func (d *DynGraph) InsertEdge(u, v int32) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop (%d,%d)", u, v)
+	}
+	if u < 0 || v < 0 {
+		return fmt.Errorf("graph: negative vertex in edge (%d,%d)", u, v)
+	}
+	mx := u
+	if v > mx {
+		mx = v
+	}
+	d.EnsureVertices(mx + 1)
+	if containsSorted(d.adj[u], v) {
+		return fmt.Errorf("graph: edge (%d,%d) already present", u, v)
+	}
+	d.adj[u] = insertSorted(d.adj[u], v)
+	d.adj[v] = insertSorted(d.adj[v], u)
+	d.m++
+	return nil
+}
+
+// DeleteEdge removes the undirected edge (u, v). It returns an error when
+// the edge is absent.
+func (d *DynGraph) DeleteEdge(u, v int32) error {
+	if u == v || u < 0 || v < 0 || int(u) >= len(d.adj) || int(v) >= len(d.adj) {
+		return fmt.Errorf("graph: edge (%d,%d) not present", u, v)
+	}
+	au, okU := removeSorted(d.adj[u], v)
+	if !okU {
+		return fmt.Errorf("graph: edge (%d,%d) not present", u, v)
+	}
+	av, okV := removeSorted(d.adj[v], u)
+	if !okV {
+		return fmt.Errorf("graph: edge (%d,%d) asymmetric adjacency", u, v)
+	}
+	d.adj[u], d.adj[v] = au, av
+	d.m--
+	return nil
+}
+
+// CommonNeighbors appends N(u) ∩ N(v) to dst and returns it.
+func (d *DynGraph) CommonNeighbors(dst []int32, u, v int32) []int32 {
+	return IntersectSorted(dst, d.adj[u], d.adj[v])
+}
+
+// MaxDegree returns the current maximum degree.
+func (d *DynGraph) MaxDegree() int32 {
+	var mx int32
+	for _, nbrs := range d.adj {
+		if int32(len(nbrs)) > mx {
+			mx = int32(len(nbrs))
+		}
+	}
+	return mx
+}
+
+// Clone returns a deep copy.
+func (d *DynGraph) Clone() *DynGraph {
+	adj := make([][]int32, len(d.adj))
+	for v, nbrs := range d.adj {
+		adj[v] = append(make([]int32, 0, len(nbrs)), nbrs...)
+	}
+	return &DynGraph{adj: adj, m: d.m}
+}
+
+func insertSorted(s []int32, x int32) []int32 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+func removeSorted(s []int32, x int32) ([]int32, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	if i >= len(s) || s[i] != x {
+		return s, false
+	}
+	copy(s[i:], s[i+1:])
+	return s[:len(s)-1], true
+}

@@ -1,0 +1,178 @@
+// Package graph provides the graph substrate used by every algorithm in this
+// repository: an immutable CSR (compressed sparse row) representation for the
+// static algorithms, a mutable adjacency-list representation for the dynamic
+// maintenance algorithms, the degree-based total order ≺ from the paper, the
+// oriented graph G+ used for once-per-edge and once-per-triangle processing,
+// sorted-set intersection kernels, edge-list IO, and subgraph sampling for the
+// scalability experiments.
+//
+// Vertices are dense int32 identifiers in [0, NumVertices). Graphs are
+// undirected, unweighted, with no self-loops and no parallel edges; builders
+// enforce this by removing self-loops and deduplicating.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected graph in CSR form. The neighbor list of
+// every vertex is sorted ascending, which the intersection and adjacency
+// kernels rely on.
+type Graph struct {
+	offsets []int64 // len n+1; adj[offsets[v]:offsets[v+1]] are v's neighbors
+	adj     []int32 // concatenated sorted neighbor lists; len 2m
+	n       int32
+	m       int64
+	maxDeg  int32
+}
+
+// NumVertices returns the number of vertices n.
+func (g *Graph) NumVertices() int32 { return g.n }
+
+// NumEdges returns the number of undirected edges m.
+func (g *Graph) NumEdges() int64 { return g.m }
+
+// MaxDegree returns the maximum vertex degree d_max.
+func (g *Graph) MaxDegree() int32 { return g.maxDeg }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int32) int32 {
+	return int32(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted neighbor list of v as a shared slice view.
+// Callers must not modify the returned slice.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the undirected edge (u, v) is present. It binary
+// searches the smaller of the two neighbor lists, so it costs
+// O(log min(d(u), d(v))).
+func (g *Graph) HasEdge(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	return containsSorted(g.Neighbors(u), v)
+}
+
+// containsSorted reports whether x occurs in the ascending slice s.
+func containsSorted(s []int32, x int32) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == x
+}
+
+// Before reports the paper's total order u ≺ v: u precedes v when u has the
+// strictly larger degree, or equal degrees and the larger identifier. The
+// highest-ranked vertex of the graph is therefore the one with the highest
+// degree (ties broken toward larger IDs), matching Section II of the paper.
+func (g *Graph) Before(u, v int32) bool {
+	du, dv := g.Degree(u), g.Degree(v)
+	if du != dv {
+		return du > dv
+	}
+	return u > v
+}
+
+// Order returns all vertices sorted by the total order ≺ (non-increasing
+// degree, ties broken by descending identifier). BaseBSearch processes
+// vertices in exactly this order.
+func (g *Graph) Order() []int32 {
+	order := make([]int32, g.n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return g.Before(order[i], order[j])
+	})
+	return order
+}
+
+// Rank returns rank[v] = position of v in Order(). Lower rank means earlier
+// in ≺ (higher degree). It is the orientation key for G+.
+func (g *Graph) Rank() []int32 {
+	order := g.Order()
+	rank := make([]int32, g.n)
+	for i, v := range order {
+		rank[v] = int32(i)
+	}
+	return rank
+}
+
+// EachEdge calls fn exactly once for every undirected edge, with u < v by
+// identifier. Iteration stops early if fn returns false.
+func (g *Graph) EachEdge(fn func(u, v int32) bool) {
+	for u := int32(0); u < g.n; u++ {
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			if !fn(u, v) {
+				return
+			}
+		}
+	}
+}
+
+// Edges materializes the undirected edge set with u < v per pair.
+func (g *Graph) Edges() [][2]int32 {
+	edges := make([][2]int32, 0, g.m)
+	g.EachEdge(func(u, v int32) bool {
+		edges = append(edges, [2]int32{u, v})
+		return true
+	})
+	return edges
+}
+
+// Validate checks the structural invariants of the CSR representation:
+// sorted, deduplicated, loop-free, symmetric adjacency. It is used by tests
+// and by loaders of untrusted input.
+func (g *Graph) Validate() error {
+	if int32(len(g.offsets))-1 != g.n {
+		return fmt.Errorf("graph: offsets length %d does not match n=%d", len(g.offsets), g.n)
+	}
+	var total int64
+	for v := int32(0); v < g.n; v++ {
+		nbrs := g.Neighbors(v)
+		total += int64(len(nbrs))
+		for i, w := range nbrs {
+			if w < 0 || w >= g.n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, w)
+			}
+			if w == v {
+				return fmt.Errorf("graph: self-loop at vertex %d", v)
+			}
+			if i > 0 && nbrs[i-1] >= w {
+				return fmt.Errorf("graph: neighbors of %d not strictly ascending at position %d", v, i)
+			}
+			if !g.HasEdge(w, v) {
+				return fmt.Errorf("graph: edge (%d,%d) not symmetric", v, w)
+			}
+		}
+	}
+	if total != 2*g.m {
+		return fmt.Errorf("graph: adjacency entries %d != 2m=%d", total, 2*g.m)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	offsets := make([]int64, len(g.offsets))
+	copy(offsets, g.offsets)
+	adj := make([]int32, len(g.adj))
+	copy(adj, g.adj)
+	return &Graph{offsets: offsets, adj: adj, n: g.n, m: g.m, maxDeg: g.maxDeg}
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses the SNAP-style whitespace-separated edge-list format:
+// one "u v" pair per line, lines starting with '#' or '%' are comments,
+// blank lines are skipped. Vertex identifiers are non-negative integers; n
+// is inferred as max(id)+1. Self-loops and duplicates are tolerated and
+// normalized away by the builder.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var edges [][2]int32
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want two fields, got %q", line, text)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", line)
+		}
+		edges = append(edges, [2]int32{int32(u), int32(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return FromEdges(-1, edges)
+}
+
+// WriteEdgeList writes g in the format accepted by ReadEdgeList, one
+// undirected edge per line with u < v.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# undirected graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	var writeErr error
+	g.EachEdge(func(u, v int32) bool {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+			writeErr = err
+			return false
+		}
+		return true
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}
+
+// magic identifies the compact binary snapshot format.
+const magic uint32 = 0xE60B0001
+
+// WriteBinary serializes g into a compact little-endian binary snapshot
+// (magic, n, m, offsets, adjacency). It is ~10x faster to load than the text
+// format and is used by the dataset cache.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	hdr := []any{magic, g.n, g.m}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.adj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a snapshot produced by WriteBinary and validates
+// its structural invariants before returning it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var m32 uint32
+	if err := binary.Read(br, binary.LittleEndian, &m32); err != nil {
+		return nil, fmt.Errorf("graph: binary header: %w", err)
+	}
+	if m32 != magic {
+		return nil, fmt.Errorf("graph: bad magic %#x", m32)
+	}
+	var n int32
+	var m int64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, err
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: corrupt header n=%d m=%d", n, m)
+	}
+	offsets := make([]int64, n+1)
+	if err := binary.Read(br, binary.LittleEndian, offsets); err != nil {
+		return nil, err
+	}
+	adj := make([]int32, 2*m)
+	if err := binary.Read(br, binary.LittleEndian, adj); err != nil {
+		return nil, err
+	}
+	g := &Graph{offsets: offsets, adj: adj, n: n, m: m}
+	for v := int32(0); v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] || g.offsets[v+1] > int64(len(adj)) {
+			return nil, fmt.Errorf("graph: corrupt offsets at vertex %d", v)
+		}
+		if d := g.Degree(v); d > g.maxDeg {
+			g.maxDeg = d
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

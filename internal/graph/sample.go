@@ -1,0 +1,67 @@
+package graph
+
+import "math/rand/v2"
+
+// SampleEdges returns a subgraph over the same vertex set containing a
+// uniformly random fraction frac ∈ (0, 1] of the edges. This matches the
+// "randomly picking 20%–80% of the edges" protocol of the paper's
+// scalability experiment (Fig. 9 left).
+func SampleEdges(g *Graph, frac float64, seed uint64) *Graph {
+	if frac >= 1 {
+		return g.Clone()
+	}
+	rng := rand.New(rand.NewPCG(seed, 0x5eed))
+	keep := make([][2]int32, 0, int(float64(g.NumEdges())*frac)+1)
+	g.EachEdge(func(u, v int32) bool {
+		if rng.Float64() < frac {
+			keep = append(keep, [2]int32{u, v})
+		}
+		return true
+	})
+	sub, err := FromEdges(g.NumVertices(), keep)
+	if err != nil {
+		// Cannot happen: edges come from a valid graph.
+		panic(err)
+	}
+	return sub
+}
+
+// SampleVertices returns the subgraph induced by a uniformly random fraction
+// frac ∈ (0, 1] of the vertices, with identifiers compacted to a dense range
+// (Fig. 9 right). The second return value maps new identifiers back to the
+// original ones.
+func SampleVertices(g *Graph, frac float64, seed uint64) (*Graph, []int32) {
+	n := g.NumVertices()
+	if frac >= 1 {
+		ids := make([]int32, n)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		return g.Clone(), ids
+	}
+	rng := rand.New(rand.NewPCG(seed, 0xfeed))
+	newID := make([]int32, n)
+	var orig []int32
+	next := int32(0)
+	for v := int32(0); v < n; v++ {
+		if rng.Float64() < frac {
+			newID[v] = next
+			orig = append(orig, v)
+			next++
+		} else {
+			newID[v] = -1
+		}
+	}
+	var edges [][2]int32
+	g.EachEdge(func(u, v int32) bool {
+		if newID[u] >= 0 && newID[v] >= 0 {
+			edges = append(edges, [2]int32{newID[u], newID[v]})
+		}
+		return true
+	})
+	sub, err := FromEdges(next, edges)
+	if err != nil {
+		panic(err)
+	}
+	return sub, orig
+}

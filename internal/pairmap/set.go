@@ -1,0 +1,70 @@
+package pairmap
+
+// Set is an open-addressing hash set of packed pair keys. The top-k search
+// algorithms use it to record which undirected edges have already been
+// processed, enforcing the once-per-edge discipline that makes connector
+// counts exact (see the package comment and DESIGN.md §2). Deletion is not
+// needed for that role, which keeps the table tombstone-free.
+type Set struct {
+	keys []uint64
+	live int
+}
+
+// NewSet returns an empty set sized to hold at least c keys without growing.
+func NewSet(c int) *Set {
+	size := 8
+	for size*3 < c*4 {
+		size <<= 1
+	}
+	return &Set{keys: make([]uint64, size)}
+}
+
+// Len returns the number of keys in the set.
+func (s *Set) Len() int { return s.live }
+
+// Contains reports whether k is in the set.
+func (s *Set) Contains(k uint64) bool {
+	mask := uint64(len(s.keys) - 1)
+	i := hash(k) & mask
+	for {
+		switch s.keys[i] {
+		case k:
+			return true
+		case emptySlot:
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Insert adds k and reports whether it was newly inserted (false when k was
+// already present).
+func (s *Set) Insert(k uint64) bool {
+	if (s.live+1)*4 > len(s.keys)*3 {
+		s.grow()
+	}
+	mask := uint64(len(s.keys) - 1)
+	i := hash(k) & mask
+	for {
+		switch s.keys[i] {
+		case k:
+			return false
+		case emptySlot:
+			s.keys[i] = k
+			s.live++
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *Set) grow() {
+	old := s.keys
+	s.keys = make([]uint64, len(old)*2)
+	s.live = 0
+	for _, k := range old {
+		if k != emptySlot {
+			s.Insert(k)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package parallel implements Section V of the paper: parallel computation
+// of all vertices' ego-betweennesses.
+//
+// Both algorithms parallelize the once-per-edge evidence pass of
+// internal/ego. Each undirected edge is owned by its ≺-earlier endpoint
+// (the orientation G+), so the edge set partitions with no coordination;
+// only the evidence-map mutations need synchronization, which striped
+// mutexes hashed on the target vertex provide.
+//
+//   - VertexPEBW hands workers whole vertices (a vertex's owned edges).
+//     Out-degree skew makes some work units enormous on power-law graphs —
+//     the load-imbalance problem the paper observes.
+//   - EdgePEBW hands workers fixed-size chunks of the flat oriented edge
+//     array through an atomic cursor, which balances load because the
+//     distribution of per-edge work (common out-neighborhood sizes) is far
+//     less skewed than vertex degrees.
+//
+// Per-worker work counters quantify that balance difference directly, which
+// matters here because wall-clock speedup additionally depends on the host
+// actually having multiple CPUs (see DESIGN.md §5).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ego"
+	"repro/internal/graph"
+	"repro/internal/pairmap"
+)
+
+// Strategy selects the work-partitioning scheme.
+type Strategy int
+
+const (
+	// VertexPEBW partitions work by vertex (Section V-A).
+	VertexPEBW Strategy = iota
+	// EdgePEBW partitions work by edge chunks (Section V-B).
+	EdgePEBW
+)
+
+// String names the strategy as in the paper.
+func (s Strategy) String() string {
+	if s == VertexPEBW {
+		return "VertexPEBW"
+	}
+	return "EdgePEBW"
+}
+
+// Stats reports per-run parallel behavior.
+type Stats struct {
+	Threads       int
+	Strategy      Strategy
+	WorkPerWorker []int64 // credit+marker operations executed by each worker
+	BusyPerWorker []time.Duration
+	Elapsed       time.Duration
+	TotalWork     int64 // credit+marker operations over the whole run
+	MaxUnitWork   int64 // heaviest indivisible work unit (vertex or edge chunk)
+}
+
+// SpeedupBound returns the best speedup achievable with t workers given the
+// partitioning granularity: total work divided by the larger of an even
+// share and the heaviest indivisible unit. This is the machine-independent
+// form of the paper's Fig. 10 comparison — on a skewed graph VertexPEBW's
+// hub vertices cap its bound well below t, while EdgePEBW's fixed chunks
+// keep the bound near t. (Wall-clock speedup additionally requires the host
+// to have t physical CPUs; see DESIGN.md §5.)
+func (s Stats) SpeedupBound(t int) float64 {
+	if s.TotalWork == 0 {
+		return 1
+	}
+	share := float64(s.TotalWork) / float64(t)
+	if m := float64(s.MaxUnitWork); m > share {
+		share = m
+	}
+	return float64(s.TotalWork) / share
+}
+
+// Imbalance returns max/mean of per-worker work — 1.0 is perfect balance.
+// This is the machine-independent quantity behind the paper's Fig. 10
+// speedup gap between the two strategies.
+func (s Stats) Imbalance() float64 {
+	if len(s.WorkPerWorker) == 0 {
+		return 1
+	}
+	var sum, maxW int64
+	for _, w := range s.WorkPerWorker {
+		sum += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(s.WorkPerWorker))
+	return float64(maxW) / mean
+}
+
+const (
+	stripeCount = 1 << 12 // striped mutexes guarding evidence maps
+	edgeChunk   = 256     // edges claimed per cursor increment in EdgePEBW
+)
+
+// ComputeAll computes every vertex's exact ego-betweenness with t workers
+// using the given strategy. t ≤ 0 selects GOMAXPROCS. The result is
+// identical (up to float summation order, bounded by ~1e-12 relative) to the
+// sequential ego.ComputeAll.
+func ComputeAll(g *graph.Graph, t int, strategy Strategy) ([]float64, Stats) {
+	if t <= 0 {
+		t = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumVertices()
+	st := Stats{
+		Threads:       t,
+		Strategy:      strategy,
+		WorkPerWorker: make([]int64, t),
+		BusyPerWorker: make([]time.Duration, t),
+	}
+	start := time.Now()
+
+	o := graph.Orient(g)
+	maps := make([]*pairmap.Map, n)
+	var mapInit sync.Mutex // guards lazy map allocation distinctly from stripes
+	stripes := make([]sync.Mutex, stripeCount)
+
+	mapFor := func(v int32) *pairmap.Map {
+		if m := maps[v]; m != nil {
+			return m
+		}
+		mapInit.Lock()
+		m := maps[v]
+		if m == nil {
+			m = pairmap.NewWithCapacity(int(g.Degree(v)))
+			maps[v] = m
+		}
+		mapInit.Unlock()
+		return m
+	}
+	lockOf := func(v int32) *sync.Mutex { return &stripes[uint32(v)%stripeCount] }
+
+	// processEdge applies the markers and credits of one undirected edge
+	// (see internal/ego): the mutation set per call touches each target
+	// vertex under its own stripe, one lock at a time (no nesting → no
+	// deadlock).
+	processEdge := func(a, b int32, comm []int32, work *int64) []int32 {
+		comm = g.CommonNeighbors(comm[:0], a, b)
+		key := pairmap.Key(a, b)
+		for _, w := range comm {
+			mu := lockOf(w)
+			mu.Lock()
+			mapFor(w).SetMarker(key)
+			mu.Unlock()
+			*work++
+		}
+		// Collect the non-adjacent pairs once, then apply per endpoint
+		// under a single lock each.
+		var pairs []uint64
+		for i := 0; i < len(comm); i++ {
+			for j := i + 1; j < len(comm); j++ {
+				if !g.HasEdge(comm[i], comm[j]) {
+					pairs = append(pairs, pairmap.Key(comm[i], comm[j]))
+				}
+			}
+		}
+		if len(pairs) > 0 {
+			for _, end := range [2]int32{a, b} {
+				mu := lockOf(end)
+				mu.Lock()
+				m := mapFor(end)
+				for _, pk := range pairs {
+					m.Add(pk, 1)
+				}
+				mu.Unlock()
+			}
+			*work += int64(2 * len(pairs))
+		}
+		return comm
+	}
+
+	var wg sync.WaitGroup
+	var maxUnit atomic.Int64
+	bumpMax := func(unit int64) {
+		for {
+			cur := maxUnit.Load()
+			if unit <= cur || maxUnit.CompareAndSwap(cur, unit) {
+				return
+			}
+		}
+	}
+	switch strategy {
+	case VertexPEBW:
+		var cursor atomic.Int32
+		for w := 0; w < t; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				t0 := time.Now()
+				var comm []int32
+				for {
+					v := cursor.Add(1) - 1
+					if v >= n {
+						break
+					}
+					var unit int64
+					for _, x := range o.OutNeighbors(v) {
+						comm = processEdge(v, x, comm, &unit)
+					}
+					st.WorkPerWorker[id] += unit
+					bumpMax(unit)
+				}
+				st.BusyPerWorker[id] = time.Since(t0)
+			}(w)
+		}
+	case EdgePEBW:
+		edges := o.Edges()
+		var cursor atomic.Int64
+		for w := 0; w < t; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				t0 := time.Now()
+				var comm []int32
+				for {
+					lo := cursor.Add(edgeChunk) - edgeChunk
+					if lo >= int64(len(edges)) {
+						break
+					}
+					hi := lo + edgeChunk
+					if hi > int64(len(edges)) {
+						hi = int64(len(edges))
+					}
+					var unit int64
+					for _, e := range edges[lo:hi] {
+						comm = processEdge(e[0], e[1], comm, &unit)
+					}
+					st.WorkPerWorker[id] += unit
+					bumpMax(unit)
+				}
+				st.BusyPerWorker[id] = time.Since(t0)
+			}(w)
+		}
+	}
+	wg.Wait()
+	st.MaxUnitWork = maxUnit.Load()
+	for _, w := range st.WorkPerWorker {
+		st.TotalWork += w
+	}
+
+	// Scoring phase: read-only over completed maps, embarrassingly parallel.
+	cb := make([]float64, n)
+	var scoreCursor atomic.Int32
+	for w := 0; w < t; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v := scoreCursor.Add(1) - 1
+				if v >= n {
+					break
+				}
+				cb[v] = ego.ScoreEvidence(g.Degree(v), maps[v])
+			}
+		}()
+	}
+	wg.Wait()
+	st.Elapsed = time.Since(start)
+	return cb, st
+}

@@ -1,0 +1,201 @@
+// Package topk provides the two ordered structures the search and
+// maintenance algorithms are built on: Bounded, the size-k result set R kept
+// as a min-heap so the current k-th best score (the pruning threshold) is
+// O(1); and MaxHeap, the sorted candidate list H of OptBSearch keyed by
+// upper bounds.
+package topk
+
+import "sort"
+
+// Item is a vertex with a score (an exact ego-betweenness in R, an upper
+// bound in H).
+type Item struct {
+	V     int32
+	Score float64
+}
+
+// Bounded is the top-k result set R: a min-heap holding at most k items.
+// The zero value is not usable; construct with NewBounded.
+type Bounded struct {
+	k     int
+	items []Item
+}
+
+// NewBounded returns an empty result set with capacity k (k ≥ 1).
+func NewBounded(k int) *Bounded {
+	if k < 1 {
+		k = 1
+	}
+	return &Bounded{k: k, items: make([]Item, 0, k)}
+}
+
+// Full reports whether k items are held.
+func (b *Bounded) Full() bool { return len(b.items) == b.k }
+
+// Len returns the current number of items.
+func (b *Bounded) Len() int { return len(b.items) }
+
+// K returns the capacity.
+func (b *Bounded) K() int { return b.k }
+
+// Min returns the smallest score currently held — the pruning threshold
+// min_{v∈R} CB(v). It returns -Inf semantics via ok=false when R is not yet
+// full, because no pruning is possible then.
+func (b *Bounded) Min() (float64, bool) {
+	if !b.Full() {
+		return 0, false
+	}
+	return b.items[0].Score, true
+}
+
+// Add offers (v, score) to the result set. When full, the item replaces the
+// current minimum only if it scores strictly higher (ties keep the
+// incumbent, matching "any valid top-k" semantics under score ties).
+func (b *Bounded) Add(v int32, score float64) {
+	if len(b.items) < b.k {
+		b.items = append(b.items, Item{V: v, Score: score})
+		b.siftUp(len(b.items) - 1)
+		return
+	}
+	if score <= b.items[0].Score {
+		return
+	}
+	b.items[0] = Item{V: v, Score: score}
+	b.siftDown(0)
+}
+
+// Remove deletes the entry for vertex v, reporting whether it was present.
+// It is used by the lazy maintainers when membership changes.
+func (b *Bounded) Remove(v int32) bool {
+	for i := range b.items {
+		if b.items[i].V == v {
+			last := len(b.items) - 1
+			b.items[i] = b.items[last]
+			b.items = b.items[:last]
+			if i < last {
+				b.siftDown(i)
+				b.siftUp(i)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Results returns the held items sorted by descending score, ties by
+// ascending vertex id for deterministic output.
+func (b *Bounded) Results() []Item {
+	out := make([]Item, len(b.items))
+	copy(out, b.items)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Items returns the unsorted underlying items (shared slice; read-only).
+func (b *Bounded) Items() []Item { return b.items }
+
+func (b *Bounded) less(i, j int) bool {
+	if b.items[i].Score != b.items[j].Score {
+		return b.items[i].Score < b.items[j].Score
+	}
+	return b.items[i].V < b.items[j].V
+}
+
+func (b *Bounded) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !b.less(i, parent) {
+			return
+		}
+		b.items[i], b.items[parent] = b.items[parent], b.items[i]
+		i = parent
+	}
+}
+
+func (b *Bounded) siftDown(i int) {
+	n := len(b.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && b.less(l, small) {
+			small = l
+		}
+		if r < n && b.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		b.items[i], b.items[small] = b.items[small], b.items[i]
+		i = small
+	}
+}
+
+// MaxHeap is the candidate list H of OptBSearch: a binary max-heap of
+// (vertex, bound) pairs. Score ties pop the larger vertex identifier first,
+// mirroring the degree-order tie direction of the paper's total order ≺.
+type MaxHeap struct {
+	items []Item
+}
+
+// NewMaxHeap returns an empty heap with capacity hint c.
+func NewMaxHeap(c int) *MaxHeap {
+	return &MaxHeap{items: make([]Item, 0, c)}
+}
+
+// Len returns the number of items.
+func (h *MaxHeap) Len() int { return len(h.items) }
+
+// Push inserts (v, score).
+func (h *MaxHeap) Push(v int32, score float64) {
+	h.items = append(h.items, Item{V: v, Score: score})
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.greater(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// Pop removes and returns the item with the highest score.
+func (h *MaxHeap) Pop() Item {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < last && h.greater(l, big) {
+			big = l
+		}
+		if r < last && h.greater(r, big) {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.items[i], h.items[big] = h.items[big], h.items[i]
+		i = big
+	}
+	return top
+}
+
+// Peek returns the current maximum without removing it.
+func (h *MaxHeap) Peek() Item { return h.items[0] }
+
+func (h *MaxHeap) greater(i, j int) bool {
+	if h.items[i].Score != h.items[j].Score {
+		return h.items[i].Score > h.items[j].Score
+	}
+	return h.items[i].V > h.items[j].V
+}
