@@ -1,0 +1,29 @@
+# Targets mirror the CI workflow (.github/workflows/ci.yml); see README.md.
+
+GO ?= go
+
+.PHONY: build test bench serve fmt vet clean
+
+build:
+	$(GO) build ./...
+
+test: vet
+	$(GO) test -race ./...
+
+# Regenerate the paper's tables and figures (quick grids; -full for the
+# paper's grids). See EXPERIMENTS.md.
+bench: build
+	$(GO) run ./cmd/benchtab -exp all
+
+# Run the query-serving daemon on :8080 (README.md has the curl walkthrough).
+serve:
+	$(GO) run ./cmd/egobwd -addr :8080
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,100 @@
+// Command egobwd is the ego-betweenness query daemon: it serves the
+// internal/server HTTP/JSON API, holding any number of named graphs in
+// memory and answering top-k / per-vertex queries lock-free against
+// immutable snapshots while edge updates stream in.
+//
+// Usage:
+//
+//	egobwd                            # serve on :8080, empty registry
+//	egobwd -addr :9090                # another port
+//	egobwd -preload dblp,ir           # pre-register dataset analogs
+//	egobwd -preload dblp -mode lazy -k 50
+//
+// Walkthrough (see README.md for the full API):
+//
+//	curl -X POST localhost:8080/graphs \
+//	    -d '{"name":"demo","generator":{"model":"ba","n":5000,"mper":4,"seed":7}}'
+//	curl 'localhost:8080/graphs/demo/topk?k=10'
+//	curl -X POST localhost:8080/graphs/demo/edges -d '{"edges":[[1,4999]]}'
+//	curl 'localhost:8080/graphs/demo/stats'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	preload := flag.String("preload", "", "comma-separated dataset names to register at startup (see egobw -dataset)")
+	mode := flag.String("mode", server.ModeLocal, "maintenance mode for preloaded graphs: local or lazy")
+	k := flag.Int("k", 10, "maintained k for lazy-mode preloads")
+	flag.Parse()
+
+	if err := run(*addr, *preload, *mode, *k); err != nil {
+		fmt.Fprintln(os.Stderr, "egobwd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, preload, mode string, k int) error {
+	srv := server.New()
+	for _, name := range strings.Split(preload, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		g, err := dataset.Load(name)
+		if err != nil {
+			return fmt.Errorf("preload %q: %w", name, err)
+		}
+		info, err := srv.Registry().Add(name, g, mode, k)
+		if err != nil {
+			return fmt.Errorf("preload %q: %w", name, err)
+		}
+		log.Printf("egobwd: preloaded %q mode=%s n=%d m=%d", info.Name, info.Mode, info.N, info.M)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("egobwd: serving on %s", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("egobwd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -25,7 +25,9 @@
 //	}
 //
 // See examples/ for runnable walkthroughs and DESIGN.md for the
-// architecture and the paper-reproduction notes.
+// architecture and the paper-reproduction notes. For serving these
+// queries over HTTP while edge updates stream in, see internal/server
+// and the cmd/egobwd daemon.
 package egobw
 
 import (

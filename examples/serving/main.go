@@ -1,0 +1,104 @@
+// Serving walkthrough: the egobwd HTTP API end to end (internal/server).
+//
+// Starts the query-serving subsystem in-process on an ephemeral port, then
+// drives it exactly the way an external client would: load a graph, query
+// top-k, stream in edge updates while concurrent readers keep querying, and
+// read back the cache/update accounting. Every request and response is
+// printed, so this doubles as living API documentation.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+
+	"repro/internal/server"
+)
+
+func main() {
+	// Start egobwd's handler on an ephemeral port (exactly what the
+	// daemon binary serves; run `egobwd -addr :8080` for the real thing).
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	srv := server.New(server.WithLogger(func(string, ...any) {}))
+	go http.Serve(ln, srv.Handler()) //nolint:errcheck // dies with the process
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	// 1. Load a generated social graph, exact-maintainer mode.
+	call("POST", base+"/graphs", `{
+	  "name": "social",
+	  "generator": {"model": "ba", "n": 4000, "mper": 4, "seed": 7}
+	}`)
+
+	// 2. Top-k queries — the second identical one is a cache hit.
+	call("GET", base+"/graphs/social/topk?k=5", "")
+	call("GET", base+"/graphs/social/topk?k=5", "")
+
+	// 3. A per-vertex query.
+	call("GET", base+"/graphs/social/vertices/0/ego-betweenness", "")
+
+	// 4. Edge updates streaming in while readers keep querying: the
+	// readers are never blocked — they read the previous immutable
+	// snapshot until the writer publishes the next one.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			resp, err := http.Get(base + "/graphs/social/topk?k=5")
+			if err != nil {
+				panic(err)
+			}
+			resp.Body.Close()
+		}
+	}()
+	call("POST", base+"/graphs/social/edges", `{"edges": [[1, 3999], [2, 3998], [0, 1]]}`)
+	call("DELETE", base+"/graphs/social/edges", `{"edges": [[1, 3999]]}`)
+	wg.Wait()
+
+	// 5. The epoch moved, so the old cache is gone with its snapshot; this
+	// query is only "cached" if one of the concurrent readers above
+	// already warmed the new snapshot. The accounting shows up in stats.
+	call("GET", base+"/graphs/social/topk?k=5", "")
+	call("GET", base+"/graphs/social/stats", "")
+	call("GET", base+"/healthz", "")
+}
+
+// call performs one HTTP request and pretty-prints the exchange.
+func call(method, url, body string) {
+	var rd io.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		panic(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(err)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, raw); err != nil {
+		compact.Write(raw)
+	}
+	out := compact.String()
+	if len(out) > 300 {
+		out = out[:300] + "…"
+	}
+	fmt.Printf("\n%s %s\n  → %d %s\n", method, url, resp.StatusCode, out)
+}

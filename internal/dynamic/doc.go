@@ -1,0 +1,18 @@
+// Package dynamic implements Section IV of the paper: maintaining
+// ego-betweenness under edge insertions and deletions.
+//
+// Two maintainers are provided, matching the paper's two regimes:
+//
+//   - Maintainer ("local update", Algorithms 4-5): keeps the exact CB of
+//     every vertex plus the exact evidence maps S_v, and repairs both with
+//     the Lemma 4-7 deltas. Only the vertices of Observation 1 — the two
+//     endpoints and their common neighbors L = N(u) ∩ N(v) — are touched.
+//
+//   - LazyTopK ("lazy update", Algorithm 6): maintains only the top-k result
+//     set plus per-vertex cached scores with staleness flags, recomputing a
+//     vertex from scratch only when it could actually affect the top-k.
+//
+// See DESIGN.md §4 for the two corrections applied to the published
+// Algorithm 6 pseudocode (loop termination, and keeping stale cached scores
+// upper bounds so the (k+1)-th candidate selection stays sound).
+package dynamic

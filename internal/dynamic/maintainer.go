@@ -1,20 +1,3 @@
-// Package dynamic implements Section IV of the paper: maintaining
-// ego-betweenness under edge insertions and deletions.
-//
-// Two maintainers are provided, matching the paper's two regimes:
-//
-//   - Maintainer ("local update", Algorithms 4-5): keeps the exact CB of
-//     every vertex plus the exact evidence maps S_v, and repairs both with
-//     the Lemma 4-7 deltas. Only the vertices of Observation 1 — the two
-//     endpoints and their common neighbors L = N(u) ∩ N(v) — are touched.
-//
-//   - LazyTopK ("lazy update", Algorithm 6): maintains only the top-k result
-//     set plus per-vertex cached scores with staleness flags, recomputing a
-//     vertex from scratch only when it could actually affect the top-k.
-//
-// See DESIGN.md §4 for the two corrections applied to the published
-// Algorithm 6 pseudocode (loop termination, and keeping stale cached scores
-// upper bounds so the (k+1)-th candidate selection stays sound).
 package dynamic
 
 import (
@@ -23,7 +6,6 @@ import (
 	"repro/internal/ego"
 	"repro/internal/graph"
 	"repro/internal/pairmap"
-	"repro/internal/topk"
 )
 
 // Maintainer keeps exact ego-betweennesses for every vertex under edge
@@ -78,16 +60,7 @@ func (m *Maintainer) MemoryFootprint() int64 {
 
 // TopK returns the current top-k by exact CB, sorted descending.
 func (m *Maintainer) TopK(k int) []ego.Result {
-	r := topk.NewBounded(k)
-	for v := int32(0); v < int32(len(m.cb)); v++ {
-		r.Add(v, m.cb[v])
-	}
-	items := r.Results()
-	out := make([]ego.Result, len(items))
-	for i, it := range items {
-		out[i] = ego.Result{V: it.V, CB: it.Score}
-	}
-	return out
+	return ego.TopKOfScores(m.cb, k)
 }
 
 // mapFor returns the evidence map of v, allocating on first touch.

@@ -37,10 +37,11 @@ import (
 	"repro/internal/pairmap"
 )
 
-// Result is a vertex with its exact ego-betweenness.
+// Result is a vertex with its exact ego-betweenness. The JSON form is what
+// the serving API (internal/server) returns.
 type Result struct {
-	V  int32
-	CB float64
+	V  int32   `json:"v"`
+	CB float64 `json:"cb"`
 }
 
 // StaticUB is the Lemma 2 upper bound ub(p) = d(d−1)/2: the value of CB(p)

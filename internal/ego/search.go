@@ -173,6 +173,17 @@ func TopKExact(g *graph.Graph, k int) []Result {
 	return toResults(r)
 }
 
+// TopKOfScores selects the k best vertices from a precomputed score vector
+// (maintained scores, a frozen snapshot, …), sorted descending with ties by
+// ascending id. Shared by Maintainer.TopK and the serving layer.
+func TopKOfScores(scores []float64, k int) []Result {
+	r := topk.NewBounded(k)
+	for v, cb := range scores {
+		r.Add(int32(v), cb)
+	}
+	return toResults(r)
+}
+
 func toResults(r *topk.Bounded) []Result {
 	items := r.Results()
 	out := make([]Result, len(items))

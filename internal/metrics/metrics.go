@@ -1,8 +1,3 @@
-// Package metrics provides the agreement measures used by the effectiveness
-// analysis (Section VI-B): top-k overlap, Jaccard similarity, and Spearman
-// rank correlation between centrality score vectors. The paper reports only
-// the overlap; Jaccard and Spearman extend the analysis to full-ranking
-// agreement, which the EXPERIMENTS.md effectiveness section uses.
 package metrics
 
 import (

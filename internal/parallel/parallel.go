@@ -1,23 +1,3 @@
-// Package parallel implements Section V of the paper: parallel computation
-// of all vertices' ego-betweennesses.
-//
-// Both algorithms parallelize the once-per-edge evidence pass of
-// internal/ego. Each undirected edge is owned by its ≺-earlier endpoint
-// (the orientation G+), so the edge set partitions with no coordination;
-// only the evidence-map mutations need synchronization, which striped
-// mutexes hashed on the target vertex provide.
-//
-//   - VertexPEBW hands workers whole vertices (a vertex's owned edges).
-//     Out-degree skew makes some work units enormous on power-law graphs —
-//     the load-imbalance problem the paper observes.
-//   - EdgePEBW hands workers fixed-size chunks of the flat oriented edge
-//     array through an atomic cursor, which balances load because the
-//     distribution of per-edge work (common out-neighborhood sizes) is far
-//     less skewed than vertex degrees.
-//
-// Per-worker work counters quantify that balance difference directly, which
-// matters here because wall-clock speedup additionally depends on the host
-// actually having multiple CPUs (see DESIGN.md §5).
 package parallel
 
 import (

@@ -1,0 +1,530 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dynamic"
+	"repro/internal/ego"
+	"repro/internal/graph"
+)
+
+// Maintenance modes for a served graph.
+const (
+	// ModeLocal keeps the exact Maintainer (LocalInsert/LocalDelete):
+	// every snapshot carries the exact score of every vertex, so top-k for
+	// any k and per-vertex queries are O(1)-per-score reads. Costs the
+	// evidence-map memory.
+	ModeLocal = "local"
+	// ModeLazy keeps the LazyTopK maintainer (LazyInsert/LazyDelete) for
+	// one configured k: minimal memory, top-k answered from the lazily
+	// maintained result set; other read shapes recompute on the snapshot.
+	ModeLazy = "lazy"
+)
+
+// Top-k algorithms a query may select.
+const (
+	AlgoAuto   = "auto"   // scores in ModeLocal, lazy set in ModeLazy
+	AlgoScores = "scores" // read the maintained exact scores (ModeLocal)
+	AlgoLazy   = "lazy"   // the LazyTopK result set (ModeLazy, query k ≤ configured k)
+	AlgoOpt    = "opt"    // OptBSearch on the snapshot CSR
+	AlgoBase   = "base"   // BaseBSearch on the snapshot CSR
+)
+
+// snapshot is the immutable unit of the epoch scheme. Readers obtain the
+// current snapshot with one atomic pointer load and then work entirely on
+// data that no writer will ever mutate: the CSR graph, the frozen score
+// vector, and a result cache that lives and dies with the snapshot (swapping
+// in a new snapshot is the cache invalidation).
+type snapshot struct {
+	epoch  uint64
+	g      *graph.Graph
+	scores []float64 // exact CB per vertex at this epoch; nil in ModeLazy
+
+	cache      sync.Map     // cacheKey -> []ego.Result
+	cacheCount atomic.Int64 // entries stored, enforcing maxCacheEntries
+	statsOnce  sync.Once
+	stats      graph.Stats
+}
+
+// maxCacheEntries caps a snapshot's result cache. The key space is
+// client-chosen (every distinct θ is a distinct key), so without a cap a
+// read-only graph — whose snapshot never swaps — would accumulate cached
+// results forever. Past the cap queries still compute, just uncached.
+const maxCacheEntries = 256
+
+// cacheStore inserts res under key unless the cache is at capacity.
+func (s *snapshot) cacheStore(key cacheKey, res []ego.Result) {
+	if s.cacheCount.Load() >= maxCacheEntries {
+		return
+	}
+	if _, loaded := s.cache.LoadOrStore(key, res); !loaded {
+		s.cacheCount.Add(1)
+	}
+}
+
+// cacheKey identifies one top-k answer shape on a given snapshot. θ is
+// keyed by its bit pattern so any float compares exactly.
+type cacheKey struct {
+	k         int
+	algo      string
+	thetaBits uint64
+}
+
+// Stats returns the Table-I style statistics of the snapshot, computed once
+// per epoch on first demand.
+func (s *snapshot) Stats() graph.Stats {
+	s.statsOnce.Do(func() { s.stats = graph.ComputeStats(s.g) })
+	return s.stats
+}
+
+// entry is one served graph: the atomically swappable snapshot for readers
+// plus the mutable maintainer state for the (serialized) writer side.
+type entry struct {
+	name string
+	mode string
+
+	snap atomic.Pointer[snapshot]
+
+	// mu serializes all mutation of the maintainer state below and every
+	// snapshot publication. Readers never take it.
+	mu    sync.Mutex
+	local *dynamic.Maintainer // ModeLocal
+	lazy  *dynamic.LazyTopK   // ModeLazy
+
+	// Accounting. Atomics, written from both read and write paths.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	inserts     atomic.Int64
+	deletes     atomic.Int64
+}
+
+// ErrDuplicate marks an Add that lost to an existing graph of the same
+// name, so the HTTP layer can distinguish a genuine conflict (409) from
+// plain request validation failures (400).
+var ErrDuplicate = fmt.Errorf("graph name already exists")
+
+// maxBatchGrowth bounds how far one edge batch may grow the vertex set
+// beyond the current maximum id. The maintainers grow the vertex set to
+// max(u,v)+1 on insert, so without a bound a single request naming vertex
+// 2e9 would allocate tens of gigabytes under the write lock.
+const maxBatchGrowth = 4096
+
+// Registry is a named collection of served graphs. Lookup is guarded by a
+// read-write mutex; everything per-graph uses the entry's own scheme.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// get returns the entry for name.
+func (r *Registry) get(name string) (*entry, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("server: no graph named %q", name)
+	}
+	return e, nil
+}
+
+// Names lists the registered graphs, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered graphs.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Add registers g under name with the given maintenance mode (lazyK applies
+// to ModeLazy). Building the maintainer computes all initial scores, which
+// for ModeLocal also populates the first snapshot's score vector.
+func (r *Registry) Add(name string, g *graph.Graph, mode string, lazyK int) (GraphInfo, error) {
+	if name == "" {
+		return GraphInfo{}, fmt.Errorf("server: graph name must be non-empty")
+	}
+	if mode == "" {
+		mode = ModeLocal
+	}
+	if mode != ModeLocal && mode != ModeLazy {
+		return GraphInfo{}, fmt.Errorf("server: unknown mode %q (want %q or %q)", mode, ModeLocal, ModeLazy)
+	}
+	// Building a maintainer computes every vertex's score — the most
+	// expensive operation here — so fail the common duplicate case before
+	// paying it. The final insert below re-checks under the write lock.
+	r.mu.RLock()
+	_, dup := r.entries[name]
+	r.mu.RUnlock()
+	if dup {
+		return GraphInfo{}, fmt.Errorf("server: graph %q: %w", name, ErrDuplicate)
+	}
+
+	e := &entry{name: name, mode: mode}
+	first := &snapshot{epoch: 1, g: g}
+	if mode == ModeLocal {
+		e.local = dynamic.NewMaintainer(g)
+		first.scores = append([]float64(nil), e.local.All()...)
+	} else {
+		if lazyK < 1 {
+			lazyK = 10
+		}
+		e.lazy = dynamic.NewLazyTopK(g, lazyK)
+	}
+	e.snap.Store(first)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return GraphInfo{}, fmt.Errorf("server: graph %q: %w", name, ErrDuplicate)
+	}
+	r.entries[name] = e
+	return e.info(), nil
+}
+
+// Remove drops the named graph.
+func (r *Registry) Remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		return fmt.Errorf("server: no graph named %q", name)
+	}
+	delete(r.entries, name)
+	return nil
+}
+
+// GraphInfo summarizes one served graph.
+type GraphInfo struct {
+	Name  string `json:"name"`
+	Mode  string `json:"mode"`
+	Epoch uint64 `json:"epoch"`
+	N     int32  `json:"n"`
+	M     int64  `json:"m"`
+	LazyK int    `json:"lazy_k,omitempty"`
+}
+
+func (e *entry) info() GraphInfo {
+	return e.infoAt(e.snap.Load())
+}
+
+// infoAt summarizes the entry against one specific snapshot, so callers that
+// already hold a snapshot report a single consistent epoch.
+func (e *entry) infoAt(s *snapshot) GraphInfo {
+	gi := GraphInfo{Name: e.name, Mode: e.mode, Epoch: s.epoch, N: s.g.NumVertices(), M: s.g.NumEdges()}
+	if e.lazy != nil {
+		gi.LazyK = e.lazy.K()
+	}
+	return gi
+}
+
+// Info returns the summary of one graph.
+func (r *Registry) Info(name string) (GraphInfo, error) {
+	e, err := r.get(name)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	return e.info(), nil
+}
+
+// Infos returns the summaries of all graphs, sorted by name.
+func (r *Registry) Infos() []GraphInfo {
+	names := r.Names()
+	out := make([]GraphInfo, 0, len(names))
+	for _, n := range names {
+		if gi, err := r.Info(n); err == nil {
+			out = append(out, gi)
+		}
+	}
+	return out
+}
+
+// GraphStats is the stats endpoint payload: snapshot statistics plus the
+// serving-side accounting.
+type GraphStats struct {
+	GraphInfo
+	DMax        int32   `json:"dmax"`
+	AvgDeg      float64 `json:"avg_degree"`
+	Triangles   int64   `json:"triangles"`
+	Inserts     int64   `json:"inserts"`
+	Deletes     int64   `json:"deletes"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+}
+
+// Stats gathers the stats payload for name. The structural part is computed
+// on (and cached in) the current snapshot, so it never blocks writers.
+func (r *Registry) Stats(name string) (GraphStats, error) {
+	e, err := r.get(name)
+	if err != nil {
+		return GraphStats{}, err
+	}
+	s := e.snap.Load()
+	st := s.Stats()
+	return GraphStats{
+		GraphInfo:   e.infoAt(s),
+		DMax:        st.DMax,
+		AvgDeg:      st.AvgDeg,
+		Triangles:   st.Triangles,
+		Inserts:     e.inserts.Load(),
+		Deletes:     e.deletes.Load(),
+		CacheHits:   e.cacheHits.Load(),
+		CacheMisses: e.cacheMisses.Load(),
+	}, nil
+}
+
+// TopKResult is the top-k endpoint payload.
+type TopKResult struct {
+	Graph   string       `json:"graph"`
+	Epoch   uint64       `json:"epoch"`
+	K       int          `json:"k"`
+	Algo    string       `json:"algo"`
+	Theta   float64      `json:"theta,omitempty"`
+	Cached  bool         `json:"cached"`
+	Results []ego.Result `json:"results"`
+}
+
+// TopK answers a top-k query. algo "auto" (or "") picks the cheapest exact
+// strategy for the graph's mode. All strategies except AlgoLazy are served
+// lock-free from the current snapshot; AlgoLazy consults the LazyTopK
+// maintainer under the write lock (its Results() call mutates lazy state).
+// Answers are cached per (k, algo, θ) in the snapshot they were computed
+// against, so an epoch swap invalidates them wholesale.
+func (r *Registry) TopK(name string, k int, algo string, theta float64) (TopKResult, error) {
+	e, err := r.get(name)
+	if err != nil {
+		return TopKResult{}, err
+	}
+	if k < 1 {
+		return TopKResult{}, fmt.Errorf("server: k must be ≥ 1, got %d", k)
+	}
+	snap := e.snap.Load()
+	// Clamp k to the vertex count: k sizes result-set allocations all the
+	// way down (topk.NewBounded and the search algorithms), so an absurd
+	// query parameter must not translate into an absurd allocation.
+	if n := int(snap.g.NumVertices()); k > n {
+		k = n
+	}
+	if algo == "" || algo == AlgoAuto {
+		if e.mode == ModeLazy {
+			algo = AlgoLazy
+			if e.lazy != nil && k > e.lazy.K() {
+				algo = AlgoOpt // lazy set only holds its configured k
+			}
+		} else {
+			algo = AlgoScores
+		}
+	}
+	if theta < 1 {
+		theta = 1.05
+	}
+	key := cacheKey{k: k, algo: algo}
+	if algo == AlgoOpt {
+		key.thetaBits = math.Float64bits(theta)
+	}
+
+	if v, ok := snap.cache.Load(key); ok {
+		e.cacheHits.Add(1)
+		return e.topkResult(snap, k, algo, theta, true, v.([]ego.Result)), nil
+	}
+	e.cacheMisses.Add(1)
+
+	var res []ego.Result
+	switch algo {
+	case AlgoScores:
+		if snap.scores == nil {
+			return TopKResult{}, fmt.Errorf("server: algo %q needs mode %q (graph %q is %q)", AlgoScores, ModeLocal, name, e.mode)
+		}
+		res = ego.TopKOfScores(snap.scores, k)
+	case AlgoOpt:
+		res, _ = ego.OptBSearch(snap.g, k, theta)
+	case AlgoBase:
+		res, _ = ego.BaseBSearch(snap.g, k)
+	case AlgoLazy:
+		if e.lazy == nil {
+			return TopKResult{}, fmt.Errorf("server: algo %q needs mode %q (graph %q is %q)", AlgoLazy, ModeLazy, name, e.mode)
+		}
+		if k > e.lazy.K() {
+			return TopKResult{}, fmt.Errorf("server: algo %q serves k ≤ %d, got %d", AlgoLazy, e.lazy.K(), k)
+		}
+		// Results() refreshes stale members, i.e. mutates maintainer
+		// state: take the write lock. Inside it no swap can happen, so
+		// the snapshot reloaded here is the one the lazy set matches.
+		e.mu.Lock()
+		full := e.lazy.Results()
+		snap = e.snap.Load()
+		e.mu.Unlock()
+		if k < len(full) {
+			full = full[:k]
+		}
+		res = full
+	default:
+		return TopKResult{}, fmt.Errorf("server: unknown algo %q", algo)
+	}
+	snap.cacheStore(key, res)
+	return e.topkResult(snap, k, algo, theta, false, res), nil
+}
+
+func (e *entry) topkResult(s *snapshot, k int, algo string, theta float64, cached bool, res []ego.Result) TopKResult {
+	tr := TopKResult{Graph: e.name, Epoch: s.epoch, K: k, Algo: algo, Cached: cached, Results: res}
+	if algo == AlgoOpt {
+		tr.Theta = theta
+	}
+	return tr
+}
+
+// VertexResult is the per-vertex endpoint payload.
+type VertexResult struct {
+	Graph  string  `json:"graph"`
+	Epoch  uint64  `json:"epoch"`
+	V      int32   `json:"v"`
+	CB     float64 `json:"cb"`
+	Degree int32   `json:"degree"`
+	Bound  float64 `json:"bound"` // Lemma 2 static upper bound d(d−1)/2
+}
+
+// EgoBetweenness answers a single-vertex query, lock-free on the current
+// snapshot: from the frozen score vector in ModeLocal, by direct O(local)
+// recomputation in ModeLazy.
+func (r *Registry) EgoBetweenness(name string, v int32) (VertexResult, error) {
+	e, err := r.get(name)
+	if err != nil {
+		return VertexResult{}, err
+	}
+	snap := e.snap.Load()
+	if v < 0 || v >= snap.g.NumVertices() {
+		return VertexResult{}, fmt.Errorf("server: vertex %d out of range [0,%d)", v, snap.g.NumVertices())
+	}
+	var cb float64
+	if snap.scores != nil {
+		cb = snap.scores[v]
+	} else {
+		cb = ego.EgoBetweenness(snap.g, v, nil)
+	}
+	d := snap.g.Degree(v)
+	return VertexResult{Graph: e.name, Epoch: snap.epoch, V: v, CB: cb, Degree: d, Bound: ego.StaticUB(d)}, nil
+}
+
+// EdgeError reports one edge of a batch that could not be applied.
+type EdgeError struct {
+	Edge  [2]int32 `json:"edge"`
+	Error string   `json:"error"`
+}
+
+// UpdateResult is the edge-update endpoint payload.
+type UpdateResult struct {
+	Graph   string      `json:"graph"`
+	Epoch   uint64      `json:"epoch"` // epoch now serving
+	Applied int         `json:"applied"`
+	Errors  []EdgeError `json:"errors,omitempty"`
+}
+
+// ApplyEdges applies a batch of edge insertions (insert=true) or deletions
+// to the named graph. The whole batch runs under the entry's write lock and
+// publishes exactly one new snapshot at the end — batching amortizes the
+// O(n+m) snapshot export over the batch. Edges that fail individually
+// (duplicate insert, missing delete, self-loop) are reported but do not
+// abort the rest of the batch.
+func (r *Registry) ApplyEdges(name string, edges [][2]int32, insert bool) (UpdateResult, error) {
+	e, err := r.get(name)
+	if err != nil {
+		return UpdateResult{}, err
+	}
+	if len(edges) == 0 {
+		return UpdateResult{}, fmt.Errorf("server: empty edge batch")
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	res := UpdateResult{Graph: e.name}
+	// Inserts may grow the vertex set to max(u,v)+1, so bound how far one
+	// batch can push it: ids beyond the limit fail per-edge instead of
+	// allocating an arbitrarily large adjacency array under the lock.
+	var curN int32
+	if e.local != nil {
+		curN = e.local.Graph().NumVertices()
+	} else {
+		curN = e.lazy.Graph().NumVertices()
+	}
+	limit := curN + maxBatchGrowth
+	for _, ed := range edges {
+		var opErr error
+		if ed[0] >= limit || ed[1] >= limit {
+			res.Errors = append(res.Errors, EdgeError{Edge: ed, Error: fmt.Sprintf(
+				"server: vertex id exceeds growth limit %d (current n %d + %d per batch)",
+				limit, curN, maxBatchGrowth)})
+			continue
+		}
+		switch {
+		case insert && e.local != nil:
+			opErr = e.local.InsertEdge(ed[0], ed[1])
+		case insert && e.lazy != nil:
+			opErr = e.lazy.InsertEdge(ed[0], ed[1])
+		case !insert && e.local != nil:
+			opErr = e.local.DeleteEdge(ed[0], ed[1])
+		default:
+			opErr = e.lazy.DeleteEdge(ed[0], ed[1])
+		}
+		if opErr != nil {
+			res.Errors = append(res.Errors, EdgeError{Edge: ed, Error: opErr.Error()})
+			continue
+		}
+		res.Applied++
+		if insert {
+			e.inserts.Add(1)
+		} else {
+			e.deletes.Add(1)
+		}
+	}
+
+	old := e.snap.Load()
+	if res.Applied == 0 {
+		// Nothing changed: keep the current snapshot (and its cache).
+		res.Epoch = old.epoch
+		return res, nil
+	}
+	next, err := e.buildSnapshot(old.epoch + 1)
+	if err != nil {
+		return UpdateResult{}, fmt.Errorf("server: snapshot export failed: %w", err)
+	}
+	e.snap.Store(next)
+	res.Epoch = next.epoch
+	return res, nil
+}
+
+// buildSnapshot freezes the maintainer's current graph (and, in ModeLocal,
+// its exact scores) into a fresh immutable snapshot. Callers must hold e.mu.
+func (e *entry) buildSnapshot(epoch uint64) (*snapshot, error) {
+	var dyn *graph.DynGraph
+	if e.local != nil {
+		dyn = e.local.Graph()
+	} else {
+		dyn = e.lazy.Graph()
+	}
+	g, err := dyn.ToGraph()
+	if err != nil {
+		return nil, err
+	}
+	s := &snapshot{epoch: epoch, g: g}
+	if e.local != nil {
+		s.scores = append([]float64(nil), e.local.All()...)
+	}
+	return s, nil
+}

@@ -1,0 +1,6 @@
+// Package topk provides the two ordered structures the search and
+// maintenance algorithms are built on: Bounded, the size-k result set R kept
+// as a min-heap so the current k-th best score (the pruning threshold) is
+// O(1); and MaxHeap, the sorted candidate list H of OptBSearch keyed by
+// upper bounds.
+package topk
