@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench serve fmt vet clean
+.PHONY: build test bench bench-figs bench-smoke serve fmt vet clean
 
 build:
 	$(GO) build ./...
@@ -10,10 +10,21 @@ build:
 test: vet
 	$(GO) test -race ./...
 
+# Bench-regression harness: machine-readable ns/op for the hot paths
+# (ComputeAll, OptBSearch, Maintainer.InsertEdge, snapshot build), written
+# to BENCH_PR2.json so the perf trajectory is tracked across PRs.
+bench: build
+	$(GO) run ./cmd/benchtab -prbench BENCH_PR2.json
+
 # Regenerate the paper's tables and figures (quick grids; -full for the
 # paper's grids). See EXPERIMENTS.md.
-bench: build
+bench-figs: build
 	$(GO) run ./cmd/benchtab -exp all
+
+# Compile-and-run every Go benchmark once (the CI smoke step; not a
+# measurement).
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
 # Run the query-serving daemon on :8080 (README.md has the curl walkthrough).
 serve:

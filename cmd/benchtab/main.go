@@ -6,6 +6,7 @@
 //	benchtab -exp all            # every experiment, quick grids
 //	benchtab -exp fig6 -full     # one experiment, the paper's full grids
 //	benchtab -list               # what is available
+//	benchtab -prbench BENCH.json # machine-readable regression suite
 //
 // EGOBW_SCALE=2 benchtab ... doubles every dataset's vertex count.
 package main
@@ -22,12 +23,21 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (table1, table2, fig6..fig12, table3, table4, all)")
 	full := flag.Bool("full", false, "use the paper's full parameter grids (slower)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	prbench := flag.String("prbench", "", "write the machine-readable bench-regression JSON to this path and exit")
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.Experiments {
 			fmt.Printf("%-8s %s\n", e.ID, e.What)
 		}
+		return
+	}
+	if *prbench != "" {
+		if err := bench.WritePRBench(*prbench, []string{"dblp", "ir"}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchtab: wrote %s\n", *prbench)
 		return
 	}
 	cfg := bench.Quick(os.Stdout)

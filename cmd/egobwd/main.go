@@ -9,6 +9,7 @@
 //	egobwd -addr :9090                # another port
 //	egobwd -preload dblp,ir           # pre-register dataset analogs
 //	egobwd -preload dblp -mode lazy -k 50
+//	egobwd -build-workers 8           # snapshot-build worker budget
 //
 // Walkthrough (see README.md for the full API):
 //
@@ -41,16 +42,17 @@ func main() {
 	preload := flag.String("preload", "", "comma-separated dataset names to register at startup (see egobw -dataset)")
 	mode := flag.String("mode", server.ModeLocal, "maintenance mode for preloaded graphs: local or lazy")
 	k := flag.Int("k", 10, "maintained k for lazy-mode preloads")
+	buildWorkers := flag.Int("build-workers", 0, "worker budget for snapshot builds (initial score computation and per-batch CSR export); 0 = GOMAXPROCS")
 	flag.Parse()
 
-	if err := run(*addr, *preload, *mode, *k); err != nil {
+	if err := run(*addr, *preload, *mode, *k, *buildWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "egobwd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, preload, mode string, k int) error {
-	srv := server.New()
+func run(addr, preload, mode string, k, buildWorkers int) error {
+	srv := server.New(server.WithRegistryOptions(server.WithBuildWorkers(buildWorkers)))
 	for _, name := range strings.Split(preload, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {

@@ -8,11 +8,11 @@ import (
 // TestRunRejectsBadPreload: run must fail fast on an unknown dataset or an
 // invalid maintenance mode instead of starting a half-configured server.
 func TestRunRejectsBadPreload(t *testing.T) {
-	err := run("127.0.0.1:0", "not-a-dataset", "local", 10)
+	err := run("127.0.0.1:0", "not-a-dataset", "local", 10, 0)
 	if err == nil || !strings.Contains(err.Error(), "not-a-dataset") {
 		t.Fatalf("unknown dataset: err = %v", err)
 	}
-	err = run("127.0.0.1:0", "ir", "bogus-mode", 10)
+	err = run("127.0.0.1:0", "ir", "bogus-mode", 10, 2)
 	if err == nil || !strings.Contains(err.Error(), "bogus-mode") {
 		t.Fatalf("bad mode: err = %v", err)
 	}

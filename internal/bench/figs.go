@@ -276,7 +276,7 @@ func Fig11(cfg Config) []Fig11Row {
 			rows = append(rows, row)
 			fmt.Fprintf(cfg.Out, "%-12s %8d %12s %12s %8.0fx %8.0f%%\n",
 				name, k, ms(row.BWTime), ms(row.EBWTime),
-				float64(row.BWTime)/float64(max64(1, int64(row.EBWTime))), row.Overlap*100)
+				float64(row.BWTime)/float64(max(int64(1), int64(row.EBWTime))), row.Overlap*100)
 		}
 	}
 	return rows
@@ -289,18 +289,4 @@ func Fig12(cfg Config) []Fig11Row {
 	sub.EffDS = []string{dataset.DB, dataset.IR}
 	sub.EffKs = cfg.CaseKs
 	return Fig11(sub)
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/dynamic"
+	"repro/internal/ego"
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// PRBenchEntry is one dataset's regression measurements: ns/op for the
+// hot-path operations this repository's PRs optimize, in a machine-readable
+// shape so the perf trajectory can be tracked across PRs.
+type PRBenchEntry struct {
+	Dataset string `json:"dataset"`
+	N       int32  `json:"n"`
+	M       int64  `json:"m"`
+
+	ComputeAllNs        int64   `json:"compute_all_ns_op"`
+	OptBSearchK100Ns    int64   `json:"opt_bsearch_k100_ns_op"`
+	MaintainerInsertNs  int64   `json:"maintainer_insert_edge_ns_op"`
+	SnapshotExportLegNs int64   `json:"snapshot_export_legacy_ns"`       // sort+dedup FromAdjacency path
+	SnapshotExportNs    int64   `json:"snapshot_export_freeze_ns"`       // direct CSR Freeze (1 worker)
+	SnapshotBuild1WNs   int64   `json:"snapshot_build_1w_ns"`            // EdgePEBW engine + export, 1 worker
+	SnapshotBuild4WNs   int64   `json:"snapshot_build_4w_ns"`            // EdgePEBW engine + export, 4 workers
+	ExportSpeedup       float64 `json:"snapshot_export_speedup"`         // legacy / freeze wall-clock
+	BuildSpeedup4W      float64 `json:"snapshot_build_speedup_4w"`       // 1w / 4w wall-clock
+	BuildBalanceBound4W float64 `json:"snapshot_build_balance_bound_4w"` // machine-independent bound
+}
+
+// PRBench is the BENCH_PR2.json document.
+type PRBench struct {
+	GeneratedAt string         `json:"generated_at"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Note        string         `json:"note"`
+	Datasets    []PRBenchEntry `json:"datasets"`
+}
+
+// prBenchUpdates is how many random edge updates feed the maintainer
+// measurement.
+const prBenchUpdates = 200
+
+// RunPRBench measures the regression suite on the named generated datasets.
+func RunPRBench(names []string) PRBench {
+	doc := PRBench{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Note: "wall-clock speedups saturate at the host's physical core count; " +
+			"snapshot_build_balance_bound_4w is the machine-independent speedup " +
+			"bound from the EdgePEBW work partition (DESIGN.md §5)",
+	}
+	for _, name := range names {
+		g := dataset.MustLoad(name)
+		e := PRBenchEntry{Dataset: name, N: g.NumVertices(), M: g.NumEdges()}
+
+		e.ComputeAllNs = int64(timeIt(func() { ego.ComputeAll(g) }))
+		e.OptBSearchK100Ns = int64(timeIt(func() { ego.OptBSearch(g, 100, 1.05) }))
+
+		// Maintainer.InsertEdge: delete a sample of existing edges, then
+		// time re-inserting them (the steady-state update path).
+		m := dynamic.NewMaintainer(g)
+		edges := pickEdges(g, prBenchUpdates, 0xBE7)
+		for _, ed := range edges {
+			must(m.DeleteEdge(ed[0], ed[1]))
+		}
+		e.MaintainerInsertNs = int64(perOp(len(edges), func() {
+			for _, ed := range edges {
+				must(m.InsertEdge(ed[0], ed[1]))
+			}
+		}))
+
+		// Snapshot export: the legacy sort+dedup construction versus the
+		// direct CSR freeze used by the serving layer's write path.
+		dyn := m.Graph()
+		lists := make([][]int32, dyn.NumVertices())
+		for v := int32(0); v < dyn.NumVertices(); v++ {
+			lists[v] = dyn.Neighbors(v)
+		}
+		e.SnapshotExportLegNs = int64(timeIt(func() {
+			if _, err := graph.FromAdjacency(lists); err != nil {
+				panic(err)
+			}
+		}))
+		e.SnapshotExportNs = int64(timeIt(func() { dyn.Freeze(1) }))
+		if e.SnapshotExportNs > 0 {
+			e.ExportSpeedup = float64(e.SnapshotExportLegNs) / float64(e.SnapshotExportNs)
+		}
+
+		// Full snapshot build (initial scores via the EdgePEBW engine plus
+		// the CSR export) at 1 and 4 workers.
+		var bound parallel.Stats
+		e.SnapshotBuild1WNs = int64(timeIt(func() {
+			parallel.ComputeAll(g, 1, parallel.EdgePEBW)
+			dyn.Freeze(1)
+		}))
+		e.SnapshotBuild4WNs = int64(timeIt(func() {
+			_, bound = parallel.ComputeAll(g, 4, parallel.EdgePEBW)
+			dyn.Freeze(4)
+		}))
+		if e.SnapshotBuild4WNs > 0 {
+			e.BuildSpeedup4W = float64(e.SnapshotBuild1WNs) / float64(e.SnapshotBuild4WNs)
+		}
+		e.BuildBalanceBound4W = bound.SpeedupBound(4)
+
+		doc.Datasets = append(doc.Datasets, e)
+	}
+	return doc
+}
+
+// WritePRBench runs the regression suite and writes BENCH-style JSON to
+// path.
+func WritePRBench(path string, names []string) error {
+	doc := RunPRBench(names)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return nil
+}

@@ -44,7 +44,8 @@ func BetweennessApprox(g *graph.Graph, pivots int, seed uint64, t int) []float64
 		go func(id int) {
 			defer wg.Done()
 			acc := make([]float64, n)
-			w := newWorker(g)
+			w := acquireWorker(g)
+			defer releaseWorker(w)
 			for {
 				idx := cursor.Add(1) - 1
 				if idx >= int64(len(sources)) {

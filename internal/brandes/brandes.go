@@ -22,7 +22,8 @@ import (
 // Betweenness returns the exact betweenness centrality of every vertex.
 func Betweenness(g *graph.Graph) []float64 {
 	bc := make([]float64, g.NumVertices())
-	w := newWorker(g)
+	w := acquireWorker(g)
+	defer releaseWorker(w)
 	for s := int32(0); s < g.NumVertices(); s++ {
 		w.accumulate(s, bc)
 	}
@@ -46,7 +47,8 @@ func BetweennessParallel(g *graph.Graph, t int) []float64 {
 		go func(id int) {
 			defer wg.Done()
 			acc := make([]float64, n)
-			w := newWorker(g)
+			w := acquireWorker(g)
+			defer releaseWorker(w)
 			for {
 				s := cursor.Add(1) - 1
 				if s >= n {
@@ -90,7 +92,10 @@ func half(bc []float64) {
 	}
 }
 
-// worker holds the per-source BFS state, reused across sources.
+// worker holds the per-source BFS state, reused across sources and pooled
+// across runs: every touched entry is reset after a source finishes, so a
+// released worker's arrays are already in the pristine (-1 / 0) state and
+// repeated TopK/Betweenness calls allocate nothing once the pool is warm.
 type worker struct {
 	g     *graph.Graph
 	dist  []int32
@@ -100,20 +105,31 @@ type worker struct {
 	stack []int32
 }
 
-func newWorker(g *graph.Graph) *worker {
-	n := g.NumVertices()
-	w := &worker{
-		g:     g,
-		dist:  make([]int32, n),
-		sigma: make([]float64, n),
-		delta: make([]float64, n),
-		queue: make([]int32, 0, n),
-		stack: make([]int32, 0, n),
+// workerPool recycles BFS workers. Workers grow to the largest graph seen;
+// growth appends pristine entries so pooled state stays consistent.
+var workerPool = sync.Pool{New: func() any { return &worker{} }}
+
+func acquireWorker(g *graph.Graph) *worker {
+	w := workerPool.Get().(*worker)
+	w.g = g
+	n := int(g.NumVertices())
+	for len(w.dist) < n {
+		w.dist = append(w.dist, -1)
 	}
-	for i := range w.dist {
-		w.dist[i] = -1
+	for len(w.sigma) < n {
+		w.sigma = append(w.sigma, 0)
 	}
+	for len(w.delta) < n {
+		w.delta = append(w.delta, 0)
+	}
+	w.queue = w.queue[:0]
+	w.stack = w.stack[:0]
 	return w
+}
+
+func releaseWorker(w *worker) {
+	w.g = nil
+	workerPool.Put(w)
 }
 
 // accumulate runs one Brandes iteration from source s, adding the directed

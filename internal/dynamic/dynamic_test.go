@@ -102,10 +102,7 @@ func TestMaintainerGrowsVertices(t *testing.T) {
 // recomputation of the current graph.
 func assertMatchesScratch(t *testing.T, m *Maintainer, stage string) {
 	t.Helper()
-	g, err := m.Graph().ToGraph()
-	if err != nil {
-		t.Fatal(err)
-	}
+	g := m.Graph().Freeze(1)
 	want := ego.ComputeAll(g)
 	for v := int32(0); v < g.NumVertices(); v++ {
 		if math.Abs(m.CB(v)-want[v]) > 1e-6 {

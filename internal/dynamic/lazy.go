@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ego"
 	"repro/internal/graph"
+	"repro/internal/nbr"
 )
 
 // LazyTopK maintains the top-k ego-betweenness result set under edge updates
@@ -31,6 +32,7 @@ type LazyTopK struct {
 	members []int32
 	heap    *lazyHeap
 	scratch *ego.Scratch
+	comm    []int32 // scratch: common neighborhoods of the updated edge
 
 	// Stats tallies the laziness at work, for the Fig. 8 analysis.
 	Stats LazyStats
@@ -133,6 +135,13 @@ func (h *lazyHeap) grow(n int32) {
 // the k best become the result set R, everything else enters the candidate
 // heap (the paper's sorted list H).
 func NewLazyTopK(g *graph.Graph, k int) *LazyTopK {
+	return NewLazyTopKFromScores(g, k, ego.ComputeAll(g))
+}
+
+// NewLazyTopKFromScores is NewLazyTopK over an already-computed exact score
+// vector (for example the parallel EdgePEBW engine's output), taking
+// ownership of it. len(cb) must equal g.NumVertices().
+func NewLazyTopKFromScores(g *graph.Graph, k int, cb []float64) *LazyTopK {
 	if k < 1 {
 		k = 1
 	}
@@ -140,7 +149,7 @@ func NewLazyTopK(g *graph.Graph, k int) *LazyTopK {
 	lt := &LazyTopK{
 		g:       graph.DynFromGraph(g),
 		k:       k,
-		cached:  ego.ComputeAll(g),
+		cached:  cb,
 		stale:   make([]bool, n),
 		inR:     make([]bool, n),
 		heap:    &lazyHeap{ver: make([]int32, n)},
@@ -295,7 +304,8 @@ func (lt *LazyTopK) InsertEdge(u, v int32) error {
 	if lt.g.HasEdge(u, v) {
 		return fmt.Errorf("dynamic: edge (%d,%d) already present", u, v)
 	}
-	comm := lt.g.CommonNeighbors(nil, u, v)
+	lt.comm = nbr.IntersectInto(lt.comm[:0], lt.g.Neighbors(u), lt.g.Neighbors(v))
+	comm := lt.comm
 	if err := lt.g.InsertEdge(u, v); err != nil {
 		return err
 	}
@@ -322,7 +332,8 @@ func (lt *LazyTopK) DeleteEdge(u, v int32) error {
 	if u < 0 || v < 0 || u == v || !lt.g.HasEdge(u, v) {
 		return fmt.Errorf("dynamic: edge (%d,%d) not present", u, v)
 	}
-	comm := lt.g.CommonNeighbors(nil, u, v)
+	lt.comm = nbr.IntersectInto(lt.comm[:0], lt.g.Neighbors(u), lt.g.Neighbors(v))
+	comm := lt.comm
 	if err := lt.g.DeleteEdge(u, v); err != nil {
 		return err
 	}

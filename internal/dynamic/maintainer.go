@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ego"
 	"repro/internal/graph"
+	"repro/internal/nbr"
 	"repro/internal/pairmap"
 )
 
@@ -14,8 +15,9 @@ type Maintainer struct {
 	g    *graph.DynGraph
 	s    []*pairmap.Map // exact evidence maps, lazily allocated
 	cb   []float64
-	comm []int32 // scratch: common neighborhoods
-	aux  []int32 // scratch: secondary intersections
+	comm []int32       // scratch: common neighborhoods
+	aux  []int32       // scratch: secondary intersections
+	reg  *nbr.Register // scratch: L-membership bitset for endpoint scans
 
 	// Stats counts the work done, for the Fig. 8 analysis.
 	Stats MaintainerStats
@@ -33,7 +35,15 @@ type MaintainerStats struct {
 // ego-betweennesses and taking ownership of the evidence maps.
 func NewMaintainer(g *graph.Graph) *Maintainer {
 	cb, maps := ego.ComputeAllWithMaps(g)
-	return &Maintainer{g: graph.DynFromGraph(g), s: maps, cb: cb}
+	return &Maintainer{g: graph.DynFromGraph(g), s: maps, cb: cb, reg: nbr.NewRegister(g.NumVertices())}
+}
+
+// NewMaintainerFromScores builds the maintainer from an already-computed
+// score vector and evidence maps (for example the parallel EdgePEBW
+// engine's output), taking ownership of both. len(cb) and len(maps) must
+// equal g.NumVertices().
+func NewMaintainerFromScores(g *graph.Graph, cb []float64, maps []*pairmap.Map) *Maintainer {
+	return &Maintainer{g: graph.DynFromGraph(g), s: maps, cb: cb, reg: nbr.NewRegister(g.NumVertices())}
 }
 
 // Graph exposes the maintained graph (read-only use).
@@ -107,7 +117,7 @@ func (m *Maintainer) InsertEdge(u, v int32) error {
 		return fmt.Errorf("dynamic: edge (%d,%d) already present", u, v)
 	}
 	// L before the insert equals L after: w ∈ L is untouched by (u,v).
-	m.comm = m.g.CommonNeighbors(m.comm[:0], u, v)
+	m.comm = nbr.IntersectInto(m.comm[:0], m.g.Neighbors(u), m.g.Neighbors(v))
 	l := append([]int32(nil), m.comm...)
 	if err := m.g.InsertEdge(u, v); err != nil {
 		return err
@@ -150,25 +160,25 @@ func (m *Maintainer) InsertEdge(u, v int32) error {
 
 // insertEndpointPairs handles the new pairs (other, x) that appear in GE(p)
 // when edge (p, other) is inserted: x ∈ L becomes an adjacent pair (marker),
-// x ∉ L gets a fresh connector count.
+// x ∉ L gets a fresh connector count. L-membership is tested against the
+// maintainer's bitset register, marked once per call.
 func (m *Maintainer) insertEndpointPairs(p, other int32, l []int32) {
-	inL := make(map[int32]bool, len(l))
-	for _, w := range l {
-		inL[w] = true
-	}
+	m.reg.Ensure(m.g.NumVertices())
+	m.reg.Mark(l)
+	defer m.reg.Unmark()
 	for _, x := range m.g.Neighbors(p) {
 		if x == other {
 			continue
 		}
 		key := pairmap.Key(other, x)
-		if inL[x] {
+		if m.reg.Contains(x) {
 			m.mapFor(p).SetMarker(key)
 			m.Stats.TouchedPairs++
 			continue
 		}
 		// Connectors of (other, x) in GE(p): w ∈ N(p) adjacent to both.
 		c := int32(0)
-		m.aux = m.g.CommonNeighbors(m.aux[:0], p, x)
+		m.aux = nbr.IntersectInto(m.aux[:0], m.g.Neighbors(p), m.g.Neighbors(x))
 		for _, w := range m.aux {
 			if w != other && m.g.HasEdge(w, other) {
 				c++
@@ -186,7 +196,7 @@ func (m *Maintainer) insertEndpointPairs(p, other int32, l []int32) {
 // (a, x) with x ∈ N(w) ∩ N(b), x ≠ a, (a,x) ∉ E gains the connector b
 // (where {a, b} = {u, v}).
 func (m *Maintainer) commonGains(w, a, b int32) {
-	m.aux = m.g.CommonNeighbors(m.aux[:0], w, b)
+	m.aux = nbr.IntersectInto(m.aux[:0], m.g.Neighbors(w), m.g.Neighbors(b))
 	for _, x := range m.aux {
 		if x == a || m.g.HasEdge(a, x) {
 			continue
@@ -203,7 +213,7 @@ func (m *Maintainer) DeleteEdge(u, v int32) error {
 	if u < 0 || v < 0 || u == v || !m.g.HasEdge(u, v) {
 		return fmt.Errorf("dynamic: edge (%d,%d) not present", u, v)
 	}
-	m.comm = m.g.CommonNeighbors(m.comm[:0], u, v)
+	m.comm = nbr.IntersectInto(m.comm[:0], m.g.Neighbors(u), m.g.Neighbors(v))
 	l := append([]int32(nil), m.comm...)
 	m.Stats.Deletes++
 	m.Stats.AffectedVerts += int64(len(l)) + 2
@@ -233,8 +243,7 @@ func (m *Maintainer) DeleteEdge(u, v int32) error {
 	for _, w := range l {
 		// Pair (u, v) becomes non-adjacent in GE(w); its connector count
 		// is |L ∩ N(w)|.
-		m.aux = graph.IntersectSorted(m.aux[:0], l, m.g.Neighbors(w))
-		c := int32(len(m.aux))
+		c := int32(nbr.IntersectCount(l, m.g.Neighbors(w)))
 		keyUV := pairmap.Key(u, v)
 		if c > 0 {
 			m.mapFor(w).Set(keyUV, c)
@@ -250,18 +259,18 @@ func (m *Maintainer) DeleteEdge(u, v int32) error {
 }
 
 // deleteEndpointPairs removes from GE(p) every pair (other, x) when edge
-// (p, other) is deleted.
+// (p, other) is deleted. L-membership is tested against the maintainer's
+// bitset register, marked once per call.
 func (m *Maintainer) deleteEndpointPairs(p, other int32, l []int32) {
-	inL := make(map[int32]bool, len(l))
-	for _, w := range l {
-		inL[w] = true
-	}
+	m.reg.Ensure(m.g.NumVertices())
+	m.reg.Mark(l)
+	defer m.reg.Unmark()
 	for _, x := range m.g.Neighbors(p) {
 		if x == other {
 			continue
 		}
 		key := pairmap.Key(other, x)
-		if inL[x] {
+		if m.reg.Contains(x) {
 			// Adjacent pair: marker entry, contribution was 0.
 			m.mapFor(p).Delete(key)
 		} else {
@@ -278,7 +287,7 @@ func (m *Maintainer) deleteEndpointPairs(p, other int32, l []int32) {
 // commonLosses applies, for common neighbor w, the Lemma 7 term: every pair
 // (a, x) with x ∈ N(w) ∩ N(b), x ≠ a, (a,x) ∉ E loses the connector b.
 func (m *Maintainer) commonLosses(w, a, b int32) {
-	m.aux = m.g.CommonNeighbors(m.aux[:0], w, b)
+	m.aux = nbr.IntersectInto(m.aux[:0], m.g.Neighbors(w), m.g.Neighbors(b))
 	for _, x := range m.aux {
 		if x == a || m.g.HasEdge(a, x) {
 			continue
@@ -289,11 +298,4 @@ func (m *Maintainer) commonLosses(w, a, b int32) {
 		m.mapFor(w).Add(key, -1)
 		m.Stats.TouchedPairs++
 	}
-}
-
-func max(a, b int32) int32 {
-	if a > b {
-		return a
-	}
-	return b
 }

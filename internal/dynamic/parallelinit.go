@@ -1,0 +1,32 @@
+package dynamic
+
+import (
+	"repro/internal/graph"
+	"repro/internal/parallel"
+)
+
+// NewMaintainerParallel builds the exact maintainer with the initial
+// all-vertices computation routed through the EdgePEBW parallel engine at
+// the given worker budget (workers ≤ 1 falls back to the sequential
+// construction). The evidence maps the engine produces are taken over
+// directly, so the maintainer starts from the same state as the sequential
+// path; scores can differ from it only in the last bits of the float
+// summation order.
+func NewMaintainerParallel(g *graph.Graph, workers int) *Maintainer {
+	if workers <= 1 {
+		return NewMaintainer(g)
+	}
+	cb, maps, _ := parallel.ComputeAllWithMaps(g, workers, parallel.EdgePEBW)
+	return NewMaintainerFromScores(g, cb, maps)
+}
+
+// NewLazyTopKParallel builds the lazy top-k maintainer with the initial
+// score vector computed by the EdgePEBW parallel engine (workers ≤ 1 falls
+// back to the sequential construction).
+func NewLazyTopKParallel(g *graph.Graph, k, workers int) *LazyTopK {
+	if workers <= 1 {
+		return NewLazyTopK(g, k)
+	}
+	cb, _, _ := parallel.ComputeAllWithMaps(g, workers, parallel.EdgePEBW)
+	return NewLazyTopKFromScores(g, k, cb)
+}

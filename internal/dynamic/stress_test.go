@@ -99,10 +99,7 @@ func TestMaintainerTopKTracksSearch(t *testing.T) {
 			_ = m.InsertEdge(u, v)
 		}
 	}
-	snap, err := m.Graph().ToGraph()
-	if err != nil {
-		t.Fatal(err)
-	}
+	snap := m.Graph().Freeze(1)
 	want, _ := ego.OptBSearch(snap, 10, 1.05)
 	got := m.TopK(10)
 	for i := range want {

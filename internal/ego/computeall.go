@@ -2,6 +2,7 @@ package ego
 
 import (
 	"repro/internal/graph"
+	"repro/internal/nbr"
 	"repro/internal/pairmap"
 )
 
@@ -22,7 +23,7 @@ func ComputeAllWithMaps(g *graph.Graph) ([]float64, []*pairmap.Map) {
 	e := newEvidence(g)
 	var comm []int32
 	g.EachEdge(func(u, v int32) bool {
-		comm = g.CommonNeighbors(comm[:0], u, v)
+		comm = nbr.IntersectInto(comm[:0], g.Neighbors(u), g.Neighbors(v))
 		e.applyEdge(u, v, comm)
 		return true
 	})
@@ -43,18 +44,17 @@ func EgoBetweenness(a graph.Adjacency, u int32, s *Scratch) float64 {
 	if s == nil {
 		s = NewScratch(a.NumVertices())
 	}
-	s.ensure(a.NumVertices())
+	s.reg.Ensure(a.NumVertices())
 	nu := a.Neighbors(u)
-	for _, v := range nu {
-		s.mark[v] = true
-	}
+	s.reg.Mark(nu)
+	defer s.reg.Unmark()
 	cb := StaticUB(int32(len(nu)))
 	s.local.Reset()
 	for _, v := range nu {
-		// T = N(v) ∩ N(u), via the mark bitmap.
+		// T = N(v) ∩ N(u), probed against the marked center bitset.
 		t := s.buf[:0]
 		for _, w := range a.Neighbors(v) {
-			if w != u && s.mark[w] {
+			if w != u && s.reg.Contains(w) {
 				t = append(t, w)
 			}
 		}
@@ -79,15 +79,14 @@ func EgoBetweenness(a graph.Adjacency, u int32, s *Scratch) float64 {
 		cb += 1/float64(val+1) - 1
 		return true
 	})
-	for _, v := range nu {
-		s.mark[v] = false
-	}
 	return cb
 }
 
-// Scratch holds the reusable state of EgoBetweenness.
+// Scratch holds the reusable state of EgoBetweenness: the center bitset
+// register and a neighborhood buffer from the kernel layer plus a local
+// evidence map.
 type Scratch struct {
-	mark  []bool
+	reg   *nbr.Register
 	buf   []int32
 	local *pairmap.Map
 }
@@ -95,11 +94,5 @@ type Scratch struct {
 // NewScratch returns scratch space for graphs with up to n vertices; it
 // grows automatically if the graph does.
 func NewScratch(n int32) *Scratch {
-	return &Scratch{mark: make([]bool, n), local: pairmap.New()}
-}
-
-func (s *Scratch) ensure(n int32) {
-	for int32(len(s.mark)) < n {
-		s.mark = append(s.mark, false)
-	}
+	return &Scratch{reg: nbr.NewRegister(n), local: pairmap.New()}
 }

@@ -34,6 +34,7 @@ package ego
 
 import (
 	"repro/internal/graph"
+	"repro/internal/nbr"
 	"repro/internal/pairmap"
 )
 
@@ -148,19 +149,34 @@ func (e *evidence) applyEdge(a, b int32, comm []int32) {
 // ensureEgo processes every not-yet-processed edge of GE(u): the d(u) edges
 // incident to u and the edges between u's neighbors. Afterwards S_u is exact
 // (see the package comment), so ScoreEvidence(d(u), S_u) = CB(u).
+//
+// The center's neighborhood N(u) is intersected against every neighbor's
+// list, so for hub centers it is marked once into a pooled bitset register
+// and each scan probes it in O(d(v)); smaller centers stay on the adaptive
+// merge/gallop kernel, which needs no setup.
 func (e *evidence) ensureEgo(u int32) {
 	nu := e.g.Neighbors(u)
+	var reg *nbr.Register
+	if len(nu) >= nbr.HubDegree {
+		reg = nbr.AcquireRegister(e.g.NumVertices())
+		reg.Mark(nu)
+		defer nbr.ReleaseRegister(reg)
+	}
 	for _, v := range nu {
 		// T = N(v) ∩ N(u) serves two roles: it is the common
 		// neighborhood of edge (u, v), and it lists the ego-internal
 		// edges (v, w).
-		e.comm = graph.IntersectSorted(e.comm[:0], e.g.Neighbors(v), nu)
+		if reg != nil {
+			e.comm = reg.IntersectInto(e.comm[:0], e.g.Neighbors(v))
+		} else {
+			e.comm = nbr.IntersectInto(e.comm[:0], e.g.Neighbors(v), nu)
+		}
 		if e.processed.Insert(pairmap.Key(u, v)) {
 			e.applyEdge(u, v, e.comm)
 		}
 		for _, w := range e.comm {
 			if w > v && e.processed.Insert(pairmap.Key(v, w)) {
-				e.comm2 = e.g.CommonNeighbors(e.comm2[:0], v, w)
+				e.comm2 = nbr.IntersectInto(e.comm2[:0], e.g.Neighbors(v), e.g.Neighbors(w))
 				e.applyEdge(v, w, e.comm2)
 			}
 		}

@@ -49,10 +49,7 @@ func TestDynGrowsVertices(t *testing.T) {
 func TestDynRoundTrip(t *testing.T) {
 	g := mustG(t, 6, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}, {0, 3}})
 	d := DynFromGraph(g)
-	back, err := d.ToGraph()
-	if err != nil {
-		t.Fatal(err)
-	}
+	back := d.Freeze(1)
 	if err := back.Validate(); err != nil {
 		t.Fatal(err)
 	}

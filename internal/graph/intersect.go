@@ -1,136 +1,24 @@
 package graph
 
-// IntersectSorted appends the intersection of two ascending int32 slices to
-// dst and returns the extended slice. When the lengths are lopsided it
-// switches to galloping search, which matters on the skewed graphs used in
-// the experiments (a hub's list intersected with a leaf's list costs
-// O(small · log large) instead of O(large)).
-func IntersectSorted(dst, a, b []int32) []int32 {
-	if len(a) > len(b) {
-		a, b = b, a
-	}
-	if len(a) == 0 {
-		return dst
-	}
-	// Galloping pays off when one list is much longer than the other.
-	if len(b) >= 16*len(a) {
-		return intersectGalloping(dst, a, b)
-	}
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			dst = append(dst, a[i])
-			i++
-			j++
-		}
-	}
-	return dst
-}
+import "repro/internal/nbr"
 
-// intersectGalloping intersects a small ascending list a into a large
-// ascending list b by exponential probing followed by binary search.
-func intersectGalloping(dst, a, b []int32) []int32 {
-	lo := 0
-	for _, x := range a {
-		// Exponential probe from lo.
-		step := 1
-		hi := lo
-		for hi < len(b) && b[hi] < x {
-			lo = hi + 1
-			hi = lo + step
-			step <<= 1
-		}
-		if hi > len(b) {
-			hi = len(b)
-		}
-		// Binary search in (lo-1, hi].
-		l, h := lo, hi
-		for l < h {
-			mid := int(uint(l+h) >> 1)
-			if b[mid] < x {
-				l = mid + 1
-			} else {
-				h = mid
-			}
-		}
-		lo = l
-		if lo < len(b) && b[lo] == x {
-			dst = append(dst, x)
-			lo++
-		}
-		if lo >= len(b) {
-			break
-		}
-	}
-	return dst
+// IntersectSorted appends the intersection of two ascending int32 slices to
+// dst and returns the extended slice. It is a thin veneer over the shared
+// adaptive kernel layer (internal/nbr), which picks linear merge or
+// galloping by the length ratio; callers that intersect one fixed hub
+// neighborhood against many lists should use an nbr.Register directly.
+func IntersectSorted(dst, a, b []int32) []int32 {
+	return nbr.IntersectInto(dst, a, b)
 }
 
 // CountCommonSorted returns |a ∩ b| for two ascending slices without
 // materializing the intersection.
 func CountCommonSorted(a, b []int32) int {
-	if len(a) > len(b) {
-		a, b = b, a
-	}
-	if len(a) == 0 {
-		return 0
-	}
-	if len(b) >= 16*len(a) {
-		n := 0
-		lo := 0
-		for _, x := range a {
-			step := 1
-			hi := lo
-			for hi < len(b) && b[hi] < x {
-				lo = hi + 1
-				hi = lo + step
-				step <<= 1
-			}
-			if hi > len(b) {
-				hi = len(b)
-			}
-			l, h := lo, hi
-			for l < h {
-				mid := int(uint(l+h) >> 1)
-				if b[mid] < x {
-					l = mid + 1
-				} else {
-					h = mid
-				}
-			}
-			lo = l
-			if lo < len(b) && b[lo] == x {
-				n++
-				lo++
-			}
-			if lo >= len(b) {
-				break
-			}
-		}
-		return n
-	}
-	n, i, j := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			n++
-			i++
-			j++
-		}
-	}
-	return n
+	return nbr.IntersectCount(a, b)
 }
 
 // CommonNeighbors appends N(u) ∩ N(v) to dst and returns it. The result is
 // ascending. dst may be nil or a reused scratch buffer.
 func (g *Graph) CommonNeighbors(dst []int32, u, v int32) []int32 {
-	return IntersectSorted(dst, g.Neighbors(u), g.Neighbors(v))
+	return nbr.IntersectInto(dst, g.Neighbors(u), g.Neighbors(v))
 }

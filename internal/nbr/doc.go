@@ -1,0 +1,24 @@
+// Package nbr is the shared neighborhood-intersection kernel layer. Every
+// hot path of the reproduction — the evidence engine behind the top-k
+// searches, the dynamic maintainers' local repair scans, and the parallel
+// PEBW workers — bottoms out in common-neighbor intersection over sorted
+// adjacency lists. This package implements that core once, with three
+// strategies selected adaptively:
+//
+//   - linear merge for size-balanced lists: one pass over both, O(|a|+|b|);
+//   - galloping (exponential probe + binary search) when one list is much
+//     longer than the other, O(|small| · log |large|);
+//   - bitset registers for hub centers: the center's neighborhood is marked
+//     once into a pooled bitset, and every subsequent intersection against
+//     it costs O(|other|) probes — amortizing the marking cost across all
+//     of the center's pair scans.
+//
+// All three strategies produce the identical ascending result set, so
+// swapping one for another never changes any downstream score — the kernels
+// differ only in how they walk the inputs, not in what they emit.
+//
+// The package is a leaf: it depends on nothing else in the repository, so
+// every layer (graph, ego, dynamic, parallel, server) can use it without
+// import cycles. Registers and scratch buffers are pooled (sync.Pool), so
+// steady-state callers allocate nothing.
+package nbr

@@ -1,0 +1,99 @@
+package nbr
+
+import "sync"
+
+// Register is a reusable bitset over vertex identifiers, the third
+// intersection strategy. A caller that intersects one fixed neighborhood
+// (the "center") against many other lists marks the center once and then
+// probes: each probe is one word access, so a scan over list costs
+// O(|list|) regardless of the center's degree — the right trade exactly
+// when the center is a hub (degree ≥ HubDegree) whose list would otherwise
+// be re-walked by every merge.
+//
+// The marked list is remembered so Unmark clears in O(marked), keeping a
+// pooled Register cheap to recycle even over graphs with millions of
+// vertices: the words array is allocated once and zeroed incrementally.
+type Register struct {
+	words  []uint64
+	marked []int32
+}
+
+// NewRegister returns a Register that can mark vertices in [0, n).
+func NewRegister(n int32) *Register {
+	r := &Register{}
+	r.Ensure(n)
+	return r
+}
+
+// Ensure grows the register to cover vertices in [0, n).
+func (r *Register) Ensure(n int32) {
+	need := (int(n) + 63) >> 6
+	if need > len(r.words) {
+		grown := make([]uint64, need)
+		copy(grown, r.words)
+		r.words = grown
+	}
+}
+
+// Mark sets the bits of vs. Vertices already marked are fine to re-mark.
+// Callers must have Ensured capacity for every id in vs.
+func (r *Register) Mark(vs []int32) {
+	for _, v := range vs {
+		r.words[uint32(v)>>6] |= 1 << (uint32(v) & 63)
+	}
+	r.marked = append(r.marked, vs...)
+}
+
+// Unmark clears every bit set since the last Unmark, in O(marked).
+func (r *Register) Unmark() {
+	for _, v := range r.marked {
+		r.words[uint32(v)>>6] &^= 1 << (uint32(v) & 63)
+	}
+	r.marked = r.marked[:0]
+}
+
+// Contains reports whether v is marked. v must be within Ensured capacity.
+func (r *Register) Contains(v int32) bool {
+	return r.words[uint32(v)>>6]&(1<<(uint32(v)&63)) != 0
+}
+
+// IntersectInto appends list ∩ marked to dst and returns it. The appended
+// run preserves list's order (ascending when list is ascending), matching
+// the merge and galloping kernels exactly.
+func (r *Register) IntersectInto(dst, list []int32) []int32 {
+	for _, v := range list {
+		if r.words[uint32(v)>>6]&(1<<(uint32(v)&63)) != 0 {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// Count returns |list ∩ marked|.
+func (r *Register) Count(list []int32) int {
+	n := 0
+	for _, v := range list {
+		if r.words[uint32(v)>>6]&(1<<(uint32(v)&63)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// registerPool recycles Registers across kernel invocations. Pooled
+// registers keep their words array, so a steady-state acquire is
+// allocation-free once the pool has warmed to the graph's vertex count.
+var registerPool = sync.Pool{New: func() any { return &Register{} }}
+
+// AcquireRegister returns a cleared pooled Register covering [0, n).
+func AcquireRegister(n int32) *Register {
+	r := registerPool.Get().(*Register)
+	r.Ensure(n)
+	return r
+}
+
+// ReleaseRegister clears r and returns it to the pool.
+func ReleaseRegister(r *Register) {
+	r.Unmark()
+	registerPool.Put(r)
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ego"
 	"repro/internal/graph"
+	"repro/internal/nbr"
 	"repro/internal/pairmap"
 )
 
@@ -84,11 +85,30 @@ const (
 	edgeChunk   = 256     // edges claimed per cursor increment in EdgePEBW
 )
 
+// workerScratch is the per-worker reusable state: the common-neighborhood
+// buffer and the collected non-adjacent pair keys of the edge in flight.
+// Keeping both on the worker (instead of per processEdge call) makes the
+// steady path allocation-free once the buffers have warmed to the graph's
+// degree profile.
+type workerScratch struct {
+	comm  []int32
+	pairs []uint64
+}
+
 // ComputeAll computes every vertex's exact ego-betweenness with t workers
 // using the given strategy. t ≤ 0 selects GOMAXPROCS. The result is
 // identical (up to float summation order, bounded by ~1e-12 relative) to the
 // sequential ego.ComputeAll.
 func ComputeAll(g *graph.Graph, t int, strategy Strategy) ([]float64, Stats) {
+	cb, _, st := ComputeAllWithMaps(g, t, strategy)
+	return cb, st
+}
+
+// ComputeAllWithMaps is ComputeAll but also returns the completed evidence
+// maps, which the dynamic maintainers take ownership of — the parallel
+// counterpart of ego.ComputeAllWithMaps, used by the serving layer to build
+// a graph's initial snapshot with a worker budget.
+func ComputeAllWithMaps(g *graph.Graph, t int, strategy Strategy) ([]float64, []*pairmap.Map, Stats) {
 	if t <= 0 {
 		t = runtime.GOMAXPROCS(0)
 	}
@@ -124,11 +144,12 @@ func ComputeAll(g *graph.Graph, t int, strategy Strategy) ([]float64, Stats) {
 	// processEdge applies the markers and credits of one undirected edge
 	// (see internal/ego): the mutation set per call touches each target
 	// vertex under its own stripe, one lock at a time (no nesting → no
-	// deadlock).
-	processEdge := func(a, b int32, comm []int32, work *int64) []int32 {
-		comm = g.CommonNeighbors(comm[:0], a, b)
+	// deadlock). All scratch lives on the worker, so the steady path
+	// allocates nothing.
+	processEdge := func(a, b int32, ws *workerScratch, work *int64) {
+		ws.comm = nbr.IntersectInto(ws.comm[:0], g.Neighbors(a), g.Neighbors(b))
 		key := pairmap.Key(a, b)
-		for _, w := range comm {
+		for _, w := range ws.comm {
 			mu := lockOf(w)
 			mu.Lock()
 			mapFor(w).SetMarker(key)
@@ -137,27 +158,26 @@ func ComputeAll(g *graph.Graph, t int, strategy Strategy) ([]float64, Stats) {
 		}
 		// Collect the non-adjacent pairs once, then apply per endpoint
 		// under a single lock each.
-		var pairs []uint64
-		for i := 0; i < len(comm); i++ {
-			for j := i + 1; j < len(comm); j++ {
-				if !g.HasEdge(comm[i], comm[j]) {
-					pairs = append(pairs, pairmap.Key(comm[i], comm[j]))
+		ws.pairs = ws.pairs[:0]
+		for i := 0; i < len(ws.comm); i++ {
+			for j := i + 1; j < len(ws.comm); j++ {
+				if !g.HasEdge(ws.comm[i], ws.comm[j]) {
+					ws.pairs = append(ws.pairs, pairmap.Key(ws.comm[i], ws.comm[j]))
 				}
 			}
 		}
-		if len(pairs) > 0 {
+		if len(ws.pairs) > 0 {
 			for _, end := range [2]int32{a, b} {
 				mu := lockOf(end)
 				mu.Lock()
 				m := mapFor(end)
-				for _, pk := range pairs {
+				for _, pk := range ws.pairs {
 					m.Add(pk, 1)
 				}
 				mu.Unlock()
 			}
-			*work += int64(2 * len(pairs))
+			*work += int64(2 * len(ws.pairs))
 		}
-		return comm
 	}
 
 	var wg sync.WaitGroup
@@ -178,7 +198,7 @@ func ComputeAll(g *graph.Graph, t int, strategy Strategy) ([]float64, Stats) {
 			go func(id int) {
 				defer wg.Done()
 				t0 := time.Now()
-				var comm []int32
+				var ws workerScratch
 				for {
 					v := cursor.Add(1) - 1
 					if v >= n {
@@ -186,7 +206,7 @@ func ComputeAll(g *graph.Graph, t int, strategy Strategy) ([]float64, Stats) {
 					}
 					var unit int64
 					for _, x := range o.OutNeighbors(v) {
-						comm = processEdge(v, x, comm, &unit)
+						processEdge(v, x, &ws, &unit)
 					}
 					st.WorkPerWorker[id] += unit
 					bumpMax(unit)
@@ -202,7 +222,7 @@ func ComputeAll(g *graph.Graph, t int, strategy Strategy) ([]float64, Stats) {
 			go func(id int) {
 				defer wg.Done()
 				t0 := time.Now()
-				var comm []int32
+				var ws workerScratch
 				for {
 					lo := cursor.Add(edgeChunk) - edgeChunk
 					if lo >= int64(len(edges)) {
@@ -214,7 +234,7 @@ func ComputeAll(g *graph.Graph, t int, strategy Strategy) ([]float64, Stats) {
 					}
 					var unit int64
 					for _, e := range edges[lo:hi] {
-						comm = processEdge(e[0], e[1], comm, &unit)
+						processEdge(e[0], e[1], &ws, &unit)
 					}
 					st.WorkPerWorker[id] += unit
 					bumpMax(unit)
@@ -247,5 +267,5 @@ func ComputeAll(g *graph.Graph, t int, strategy Strategy) ([]float64, Stats) {
 	}
 	wg.Wait()
 	st.Elapsed = time.Since(start)
-	return cb, st
+	return cb, maps, st
 }

@@ -3,9 +3,11 @@ package server
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/dynamic"
 	"repro/internal/ego"
@@ -43,6 +45,14 @@ type snapshot struct {
 	epoch  uint64
 	g      *graph.Graph
 	scores []float64 // exact CB per vertex at this epoch; nil in ModeLazy
+
+	// buildDur is how long this snapshot took to construct (the initial
+	// all-vertices computation for epoch 1, the CSR export for later
+	// epochs) and buildWorkers the worker budget it was built with — both
+	// surfaced through GraphInfo so operators can see the parallel build
+	// paying off.
+	buildDur     time.Duration
+	buildWorkers int
 
 	cache      sync.Map     // cacheKey -> []ego.Result
 	cacheCount atomic.Int64 // entries stored, enforcing maxCacheEntries
@@ -84,8 +94,9 @@ func (s *snapshot) Stats() graph.Stats {
 // entry is one served graph: the atomically swappable snapshot for readers
 // plus the mutable maintainer state for the (serialized) writer side.
 type entry struct {
-	name string
-	mode string
+	name    string
+	mode    string
+	workers int // snapshot-build worker budget (≥ 1)
 
 	snap atomic.Pointer[snapshot]
 
@@ -118,11 +129,31 @@ const maxBatchGrowth = 4096
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
+	workers int // snapshot-build worker budget applied to new graphs
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{entries: make(map[string]*entry)}
+// RegistryOption configures a Registry.
+type RegistryOption func(*Registry)
+
+// WithBuildWorkers sets the worker budget used to build graph snapshots:
+// the initial all-vertices computation runs on the EdgePEBW parallel engine
+// and the per-batch CSR export shards its row copy across this many
+// goroutines. n ≤ 0 selects GOMAXPROCS.
+func WithBuildWorkers(n int) RegistryOption {
+	return func(r *Registry) { r.workers = n }
+}
+
+// NewRegistry returns an empty registry. The default snapshot-build worker
+// budget is GOMAXPROCS.
+func NewRegistry(opts ...RegistryOption) *Registry {
+	r := &Registry{entries: make(map[string]*entry)}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.workers <= 0 {
+		r.workers = runtime.GOMAXPROCS(0)
+	}
+	return r
 }
 
 // get returns the entry for name.
@@ -178,17 +209,19 @@ func (r *Registry) Add(name string, g *graph.Graph, mode string, lazyK int) (Gra
 		return GraphInfo{}, fmt.Errorf("server: graph %q: %w", name, ErrDuplicate)
 	}
 
-	e := &entry{name: name, mode: mode}
-	first := &snapshot{epoch: 1, g: g}
+	e := &entry{name: name, mode: mode, workers: r.workers}
+	first := &snapshot{epoch: 1, g: g, buildWorkers: e.workers}
+	t0 := time.Now()
 	if mode == ModeLocal {
-		e.local = dynamic.NewMaintainer(g)
+		e.local = dynamic.NewMaintainerParallel(g, e.workers)
 		first.scores = append([]float64(nil), e.local.All()...)
 	} else {
 		if lazyK < 1 {
 			lazyK = 10
 		}
-		e.lazy = dynamic.NewLazyTopK(g, lazyK)
+		e.lazy = dynamic.NewLazyTopKParallel(g, lazyK, e.workers)
 	}
+	first.buildDur = time.Since(t0)
 	e.snap.Store(first)
 
 	r.mu.Lock()
@@ -211,14 +244,19 @@ func (r *Registry) Remove(name string) error {
 	return nil
 }
 
-// GraphInfo summarizes one served graph.
+// GraphInfo summarizes one served graph. SnapshotBuildMS is how long the
+// currently served snapshot took to build — the initial all-vertices
+// computation for epoch 1, the CSR export inside the write lock for later
+// epochs — and BuildWorkers the worker budget that built it.
 type GraphInfo struct {
-	Name  string `json:"name"`
-	Mode  string `json:"mode"`
-	Epoch uint64 `json:"epoch"`
-	N     int32  `json:"n"`
-	M     int64  `json:"m"`
-	LazyK int    `json:"lazy_k,omitempty"`
+	Name            string  `json:"name"`
+	Mode            string  `json:"mode"`
+	Epoch           uint64  `json:"epoch"`
+	N               int32   `json:"n"`
+	M               int64   `json:"m"`
+	LazyK           int     `json:"lazy_k,omitempty"`
+	BuildWorkers    int     `json:"build_workers"`
+	SnapshotBuildMS float64 `json:"snapshot_build_ms"`
 }
 
 func (e *entry) info() GraphInfo {
@@ -228,7 +266,12 @@ func (e *entry) info() GraphInfo {
 // infoAt summarizes the entry against one specific snapshot, so callers that
 // already hold a snapshot report a single consistent epoch.
 func (e *entry) infoAt(s *snapshot) GraphInfo {
-	gi := GraphInfo{Name: e.name, Mode: e.mode, Epoch: s.epoch, N: s.g.NumVertices(), M: s.g.NumEdges()}
+	gi := GraphInfo{
+		Name: e.name, Mode: e.mode, Epoch: s.epoch,
+		N: s.g.NumVertices(), M: s.g.NumEdges(),
+		BuildWorkers:    s.buildWorkers,
+		SnapshotBuildMS: float64(s.buildDur.Microseconds()) / 1000,
+	}
 	if e.lazy != nil {
 		gi.LazyK = e.lazy.K()
 	}
@@ -500,31 +543,28 @@ func (r *Registry) ApplyEdges(name string, edges [][2]int32, insert bool) (Updat
 		res.Epoch = old.epoch
 		return res, nil
 	}
-	next, err := e.buildSnapshot(old.epoch + 1)
-	if err != nil {
-		return UpdateResult{}, fmt.Errorf("server: snapshot export failed: %w", err)
-	}
-	e.snap.Store(next)
-	res.Epoch = next.epoch
+	e.snap.Store(e.buildSnapshot(old.epoch + 1))
+	res.Epoch = old.epoch + 1
 	return res, nil
 }
 
 // buildSnapshot freezes the maintainer's current graph (and, in ModeLocal,
-// its exact scores) into a fresh immutable snapshot. Callers must hold e.mu.
-func (e *entry) buildSnapshot(epoch uint64) (*snapshot, error) {
+// its exact scores) into a fresh immutable snapshot, sharding the CSR
+// export across the entry's worker budget — this runs inside the write
+// lock, so its latency is the write-batch publication latency. Callers must
+// hold e.mu.
+func (e *entry) buildSnapshot(epoch uint64) *snapshot {
+	t0 := time.Now()
 	var dyn *graph.DynGraph
 	if e.local != nil {
 		dyn = e.local.Graph()
 	} else {
 		dyn = e.lazy.Graph()
 	}
-	g, err := dyn.ToGraph()
-	if err != nil {
-		return nil, err
-	}
-	s := &snapshot{epoch: epoch, g: g}
+	s := &snapshot{epoch: epoch, g: dyn.Freeze(e.workers), buildWorkers: e.workers}
 	if e.local != nil {
 		s.scores = append([]float64(nil), e.local.All()...)
 	}
-	return s, nil
+	s.buildDur = time.Since(t0)
+	return s
 }

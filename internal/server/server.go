@@ -34,6 +34,7 @@ import (
 // Server wires the Registry to an http.Handler.
 type Server struct {
 	reg     *Registry
+	regOpts []RegistryOption
 	started time.Time
 	logf    func(format string, args ...any)
 }
@@ -47,12 +48,19 @@ func WithLogger(logf func(format string, args ...any)) Option {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithRegistryOptions forwards options to the Server's Registry (for
+// example WithBuildWorkers).
+func WithRegistryOptions(opts ...RegistryOption) Option {
+	return func(s *Server) { s.regOpts = append(s.regOpts, opts...) }
+}
+
 // New returns a Server with an empty registry.
 func New(opts ...Option) *Server {
-	s := &Server{reg: NewRegistry(), started: time.Now(), logf: log.Printf}
+	s := &Server{started: time.Now(), logf: log.Printf}
 	for _, o := range opts {
 		o(s)
 	}
+	s.reg = NewRegistry(s.regOpts...)
 	return s
 }
 
