@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-figs bench-smoke serve fmt vet clean
+.PHONY: build test bench bench-figs bench-smoke fuzz-smoke cover serve fmt vet clean
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,12 @@ test: vet
 	$(GO) test -race ./...
 
 # Bench-regression harness: machine-readable ns/op for the hot paths
-# (ComputeAll, OptBSearch, Maintainer.InsertEdge, snapshot build), written
-# to BENCH_PR2.json so the perf trajectory is tracked across PRs.
+# (ComputeAll, OptBSearch, Maintainer.InsertEdge, snapshot build, and the
+# PR 3 persistence costs: snapshot codec, fsync'd WAL append, checkpoint,
+# recovery), written to BENCH_PR3.json so the perf trajectory is tracked
+# across PRs.
 bench: build
-	$(GO) run ./cmd/benchtab -prbench BENCH_PR2.json
+	$(GO) run ./cmd/benchtab -prbench BENCH_PR3.json
 
 # Regenerate the paper's tables and figures (quick grids; -full for the
 # paper's grids). See EXPERIMENTS.md.
@@ -25,6 +27,20 @@ bench-figs: build
 # measurement).
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Short fuzz runs of the persistence decoders (internal/store). `go test`
+# accepts one -fuzz pattern per invocation, hence two runs. CI runs this
+# non-gating, like bench-smoke; crank -fuzztime up for a real session.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/store -run '^$$' -fuzz FuzzDecodeSnapshot -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/store -run '^$$' -fuzz FuzzDecodeWAL -fuzztime $(FUZZTIME)
+
+# Coverage profile over every package (atomic mode so it composes with
+# -race); CI uploads coverage.out as a workflow artifact.
+cover:
+	$(GO) test -race -covermode=atomic -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Run the query-serving daemon on :8080 (README.md has the curl walkthrough).
 serve:

@@ -10,6 +10,9 @@
 //	egobwd -preload dblp,ir           # pre-register dataset analogs
 //	egobwd -preload dblp -mode lazy -k 50
 //	egobwd -build-workers 8           # snapshot-build worker budget
+//	egobwd -data-dir /var/lib/egobwd  # durable graphs: WAL + snapshots,
+//	                                  # recovered on restart
+//	egobwd -data-dir d -checkpoint-every 64 -checkpoint-bytes 16777216
 //
 // Walkthrough (see README.md for the full API):
 //
@@ -37,40 +40,95 @@ import (
 	"repro/internal/server"
 )
 
+// config collects the daemon's flags.
+type config struct {
+	addr         string
+	preload      string
+	mode         string
+	k            int
+	buildWorkers int
+	dataDir      string
+	ckptEvery    int
+	ckptBytes    int64
+}
+
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	preload := flag.String("preload", "", "comma-separated dataset names to register at startup (see egobw -dataset)")
-	mode := flag.String("mode", server.ModeLocal, "maintenance mode for preloaded graphs: local or lazy")
-	k := flag.Int("k", 10, "maintained k for lazy-mode preloads")
-	buildWorkers := flag.Int("build-workers", 0, "worker budget for snapshot builds (initial score computation and per-batch CSR export); 0 = GOMAXPROCS")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.preload, "preload", "", "comma-separated dataset names to register at startup (see egobw -dataset)")
+	flag.StringVar(&cfg.mode, "mode", server.ModeLocal, "maintenance mode for preloaded graphs: local or lazy")
+	flag.IntVar(&cfg.k, "k", 10, "maintained k for lazy-mode preloads")
+	flag.IntVar(&cfg.buildWorkers, "build-workers", 0, "worker budget for snapshot builds (initial score computation and per-batch CSR export); 0 = GOMAXPROCS")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "directory for durable graphs (per-graph WAL + binary CSR snapshots); graphs recover on restart. Empty = in-memory only")
+	flag.IntVar(&cfg.ckptEvery, "checkpoint-every", 0, "fold the WAL into a fresh snapshot after this many update batches (0 = default 16)")
+	flag.Int64Var(&cfg.ckptBytes, "checkpoint-bytes", 0, "also checkpoint once a graph's WAL exceeds this many bytes (0 = default 4 MiB)")
 	flag.Parse()
 
-	if err := run(*addr, *preload, *mode, *k, *buildWorkers); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "egobwd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, preload, mode string, k, buildWorkers int) error {
-	srv := server.New(server.WithRegistryOptions(server.WithBuildWorkers(buildWorkers)))
-	for _, name := range strings.Split(preload, ",") {
+// setup builds the server from cfg: registry options, crash recovery from
+// the data directory, dataset preloads. Split from run so tests can exercise
+// the boot path without serving.
+func setup(cfg config) (*server.Server, error) {
+	regOpts := []server.RegistryOption{server.WithBuildWorkers(cfg.buildWorkers)}
+	if cfg.dataDir != "" {
+		regOpts = append(regOpts,
+			server.WithDataDir(cfg.dataDir),
+			server.WithCheckpointPolicy(cfg.ckptEvery, cfg.ckptBytes))
+	}
+	srv := server.New(server.WithRegistryOptions(regOpts...))
+
+	if cfg.dataDir != "" {
+		infos, err := srv.Registry().Recover()
+		if err != nil {
+			return nil, fmt.Errorf("recover %s: %w", cfg.dataDir, err)
+		}
+		for _, info := range infos {
+			log.Printf("egobwd: recovered %q mode=%s n=%d m=%d wal_seq=%d snapshot_seq=%d",
+				info.Name, info.Mode, info.N, info.M, info.WALSeq, info.SnapshotSeq)
+		}
+	}
+
+	for _, name := range strings.Split(cfg.preload, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
 		g, err := dataset.Load(name)
 		if err != nil {
-			return fmt.Errorf("preload %q: %w", name, err)
+			return nil, fmt.Errorf("preload %q: %w", name, err)
 		}
-		info, err := srv.Registry().Add(name, g, mode, k)
+		info, err := srv.Registry().Add(name, g, cfg.mode, cfg.k)
+		if errors.Is(err, server.ErrDuplicate) {
+			// Already recovered from the data dir — the durable copy (with
+			// its applied updates) wins over a fresh preload.
+			log.Printf("egobwd: preload %q skipped: recovered from %s", name, cfg.dataDir)
+			continue
+		}
 		if err != nil {
-			return fmt.Errorf("preload %q: %w", name, err)
+			return nil, fmt.Errorf("preload %q: %w", name, err)
 		}
 		log.Printf("egobwd: preloaded %q mode=%s n=%d m=%d", info.Name, info.Mode, info.N, info.M)
 	}
+	return srv, nil
+}
+
+func run(cfg config) error {
+	srv, err := setup(cfg)
+	if err != nil {
+		return err
+	}
+	// Release WAL handles and store locks on the way out; a crash skips
+	// this, which is fine — recovery repairs the WAL tail and the kernel
+	// drops the locks with the process.
+	defer srv.Registry().Close()
 
 	httpSrv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -80,7 +138,7 @@ func run(addr, preload, mode string, k, buildWorkers int) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("egobwd: serving on %s", addr)
+		log.Printf("egobwd: serving on %s", cfg.addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -1,19 +1,68 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/server"
 )
 
 // TestRunRejectsBadPreload: run must fail fast on an unknown dataset or an
 // invalid maintenance mode instead of starting a half-configured server.
 func TestRunRejectsBadPreload(t *testing.T) {
-	err := run("127.0.0.1:0", "not-a-dataset", "local", 10, 0)
+	err := run(config{addr: "127.0.0.1:0", preload: "not-a-dataset", mode: "local", k: 10})
 	if err == nil || !strings.Contains(err.Error(), "not-a-dataset") {
 		t.Fatalf("unknown dataset: err = %v", err)
 	}
-	err = run("127.0.0.1:0", "ir", "bogus-mode", 10, 2)
+	err = run(config{addr: "127.0.0.1:0", preload: "ir", mode: "bogus-mode", k: 10, buildWorkers: 2})
 	if err == nil || !strings.Contains(err.Error(), "bogus-mode") {
 		t.Fatalf("bad mode: err = %v", err)
+	}
+}
+
+// TestSetupRecoversDataDir: the boot path must reload graphs persisted by a
+// previous process, and a preload of an already-recovered name must be
+// skipped rather than fatal.
+func TestSetupRecoversDataDir(t *testing.T) {
+	dir := t.TempDir()
+
+	// "Previous process": a durable registry with one graph and an update.
+	reg := server.NewRegistry(server.WithDataDir(dir), server.WithBuildWorkers(1))
+	g := graph.MustFromEdges(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 2}})
+	if _, err := reg.Add("demo", g, server.ModeLocal, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.ApplyEdges("demo", [][2]int32{{1, 3}}, true); err != nil {
+		t.Fatal(err)
+	}
+	// Stand-in for process death: releases the store locks (content is
+	// already durable; a real kill would release them via the kernel).
+	reg.Close()
+
+	srv, err := setup(config{dataDir: dir, ckptEvery: 4})
+	if err != nil {
+		t.Fatalf("setup with data dir: %v", err)
+	}
+	info, err := srv.Registry().Info("demo")
+	if err != nil {
+		t.Fatalf("recovered graph missing: %v", err)
+	}
+	if info.M != 6 || !info.Persisted || info.WALSeq != 1 {
+		t.Fatalf("recovered info = %+v, want m=6 persisted wal_seq=1", info)
+	}
+}
+
+// TestSetupRejectsCorruptDataDir: a data directory whose contents cannot be
+// recovered must fail the boot loudly, never serve partial state silently.
+func TestSetupRejectsCorruptDataDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "stray.txt"), []byte("not a graph dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup(config{dataDir: dir}); err == nil {
+		t.Fatal("setup accepted a data dir with unrecognized contents")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 
 	"repro/internal/server"
@@ -71,6 +72,67 @@ func main() {
 	call("GET", base+"/graphs/social/topk?k=5", "")
 	call("GET", base+"/graphs/social/stats", "")
 	call("GET", base+"/healthz", "")
+
+	// 6. Durability (README "Durable graphs", DESIGN.md §8): the same flow
+	// against a -data-dir server, killed without shutdown and restarted.
+	fmt.Println("\n--- durable restart (egobwd -data-dir) ---")
+	dataDir, err := os.MkdirTemp("", "egobwd-example-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dataDir)
+
+	durableOpts := func() []server.Option {
+		return []server.Option{
+			server.WithLogger(func(string, ...any) {}),
+			server.WithRegistryOptions(
+				server.WithDataDir(dataDir),
+				server.WithCheckpointPolicy(2, 1<<20), // checkpoint every 2 batches
+			),
+		}
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	srv2 := server.New(durableOpts()...)
+	go http.Serve(ln2, srv2.Handler()) //nolint:errcheck // dies with the listener
+	base2 := "http://" + ln2.Addr().String()
+
+	call("POST", base2+"/graphs", `{
+	  "name": "durable",
+	  "generator": {"model": "ba", "n": 2000, "mper": 3, "seed": 11}
+	}`)
+	// Three batches: the WAL is appended before each apply, and the third
+	// lands after an automatic checkpoint (policy: every 2 batches).
+	call("POST", base2+"/graphs/durable/edges", `{"edges": [[5, 1999]]}`)
+	call("POST", base2+"/graphs/durable/edges", `{"edges": [[6, 1998]]}`)
+	call("POST", base2+"/graphs/durable/edges", `{"edges": [[7, 1997]]}`)
+	call("GET", base2+"/graphs/durable/topk?k=5", "")
+	call("GET", base2+"/graphs/durable", "") // note wal_seq / snapshot_seq
+
+	// "kill -9": close the listener with no shutdown of any kind — the WAL
+	// and snapshot on disk are all that survives. Closing the registry
+	// only releases the per-directory store locks, which a real process
+	// death would release via the kernel; it flushes nothing.
+	ln2.Close()
+	srv2.Registry().Close()
+
+	// Restart: a fresh server over the same data dir recovers the graph —
+	// snapshot first, then the WAL tail replayed through the maintainer —
+	// and serves the same top-k as before the kill.
+	ln3, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	srv3 := server.New(durableOpts()...)
+	if _, err := srv3.Registry().Recover(); err != nil {
+		panic(err)
+	}
+	go http.Serve(ln3, srv3.Handler()) //nolint:errcheck // dies with the process
+	base3 := "http://" + ln3.Addr().String()
+	call("GET", base3+"/graphs/durable", "")
+	call("GET", base3+"/graphs/durable/topk?k=5", "") // same answer as above
 }
 
 // call performs one HTTP request and pretty-prints the exchange.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/ego"
 	"repro/internal/graph"
 	"repro/internal/parallel"
+	"repro/internal/store"
 )
 
 // PRBenchEntry is one dataset's regression measurements: ns/op for the
@@ -32,6 +34,18 @@ type PRBenchEntry struct {
 	ExportSpeedup       float64 `json:"snapshot_export_speedup"`         // legacy / freeze wall-clock
 	BuildSpeedup4W      float64 `json:"snapshot_build_speedup_4w"`       // 1w / 4w wall-clock
 	BuildBalanceBound4W float64 `json:"snapshot_build_balance_bound_4w"` // machine-independent bound
+
+	// Persistence (PR 3, internal/store): the durability costs the serving
+	// layer adds. Encode/checkpoint run inside the write lock at every
+	// checkpoint; the fsync'd WAL append runs on every update batch; recover
+	// is the full restart path (snapshot load + exact maintainer rebuild +
+	// 200-batch WAL tail replay), dominated by the ComputeAll rebuild.
+	StoreSnapshotBytes    int64 `json:"store_snapshot_bytes"`
+	StoreSnapshotEncodeNs int64 `json:"store_snapshot_encode_ns"`
+	StoreSnapshotDecodeNs int64 `json:"store_snapshot_decode_ns"`
+	StoreWALAppendNs      int64 `json:"store_wal_append_sync_ns_op"`
+	StoreCheckpointNs     int64 `json:"store_checkpoint_ns"`
+	StoreRecoverNs        int64 `json:"store_recover_ns"`
 }
 
 // PRBench is the BENCH_PR2.json document.
@@ -108,9 +122,67 @@ func RunPRBench(names []string) PRBench {
 		}
 		e.BuildBalanceBound4W = bound.SpeedupBound(4)
 
+		measureStore(&e, g, edges)
+
 		doc.Datasets = append(doc.Datasets, e)
 	}
 	return doc
+}
+
+// measureStore times the persistence layer on dataset graph g: snapshot
+// codec, fsync'd WAL appends (one single-edge delete batch per sampled
+// edge), one checkpoint, and the full recovery path for a store whose WAL
+// tail holds those batches.
+func measureStore(e *PRBenchEntry, g *graph.Graph, edges [][2]int32) {
+	dir, err := os.MkdirTemp("", "egobw-prbench-store-*")
+	must(err)
+	defer os.RemoveAll(dir)
+
+	meta := store.SnapshotMeta{}
+	enc := store.EncodeSnapshot(g, meta)
+	e.StoreSnapshotBytes = int64(len(enc))
+	e.StoreSnapshotEncodeNs = int64(timeIt(func() { store.EncodeSnapshot(g, meta) }))
+	e.StoreSnapshotDecodeNs = int64(timeIt(func() {
+		if _, _, err := store.DecodeSnapshot(enc); err != nil {
+			panic(err)
+		}
+	}))
+
+	st, err := store.Create(filepath.Join(dir, "g"), g, meta)
+	must(err)
+	e.StoreWALAppendNs = int64(perOp(len(edges), func() {
+		for _, ed := range edges {
+			if _, err := st.AppendBatch(false, [][2]int32{ed}); err != nil {
+				panic(err)
+			}
+		}
+	}))
+	e.StoreCheckpointNs = int64(timeIt(func() {
+		must(st.Checkpoint(g, store.SnapshotMeta{Seq: st.Seq()}))
+	}))
+	// Refill the WAL so recovery replays a realistic tail, then measure the
+	// whole restart path the serving layer runs: open + exact maintainer
+	// rebuild + deterministic batch replay.
+	for _, ed := range edges {
+		_, err := st.AppendBatch(false, [][2]int32{ed})
+		must(err)
+	}
+	must(st.Close())
+	e.StoreRecoverNs = int64(timeIt(func() {
+		st2, rec, err := store.Open(filepath.Join(dir, "g"))
+		must(err)
+		m := dynamic.NewMaintainer(rec.Graph)
+		for _, b := range rec.Tail {
+			for _, ed := range b.Edges {
+				if b.Insert {
+					must(m.InsertEdge(ed[0], ed[1]))
+				} else {
+					must(m.DeleteEdge(ed[0], ed[1]))
+				}
+			}
+		}
+		must(st2.Close())
+	}))
 }
 
 // WritePRBench runs the regression suite and writes BENCH-style JSON to

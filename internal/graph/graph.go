@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -155,6 +156,50 @@ func (g *Graph) Validate() error {
 		return fmt.Errorf("graph: adjacency entries %d != 2m=%d", total, 2*g.m)
 	}
 	return nil
+}
+
+// CSR exposes the raw CSR arrays: offsets (len n+1) and the concatenated
+// sorted adjacency (len 2m). The slices are shared with the graph and must
+// not be modified. It is the export hook for binary snapshot codecs.
+func (g *Graph) CSR() (offsets []int64, adj []int32) {
+	return g.offsets, g.adj
+}
+
+// FromCSR reconstructs a Graph from raw CSR arrays as produced by CSR(),
+// taking ownership of both slices. Every structural invariant is validated
+// before the graph is returned, so it is safe on untrusted (decoded) input:
+// offsets must start at 0, be non-decreasing, and end at len(adj); adjacency
+// lists must be strictly ascending, loop-free, in-range, and symmetric.
+func FromCSR(offsets []int64, adj []int32) (*Graph, error) {
+	if len(offsets) < 1 {
+		return nil, fmt.Errorf("graph: CSR offsets empty (want length n+1 ≥ 1)")
+	}
+	if int64(len(offsets)-1) > int64(math.MaxInt32) {
+		return nil, fmt.Errorf("graph: CSR names %d vertices, beyond int32", len(offsets)-1)
+	}
+	n := int32(len(offsets) - 1)
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: CSR offsets must start at 0, got %d", offsets[0])
+	}
+	if offsets[n] != int64(len(adj)) {
+		return nil, fmt.Errorf("graph: CSR offsets end at %d, adjacency has %d entries", offsets[n], len(adj))
+	}
+	if len(adj)%2 != 0 {
+		return nil, fmt.Errorf("graph: CSR adjacency length %d is odd (want 2m)", len(adj))
+	}
+	g := &Graph{offsets: offsets, adj: adj, n: n, m: int64(len(adj)) / 2}
+	for v := int32(0); v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return nil, fmt.Errorf("graph: CSR offsets decrease at vertex %d", v)
+		}
+		if d := g.Degree(v); d > g.maxDeg {
+			g.maxDeg = d
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
 // Clone returns a deep copy of g.

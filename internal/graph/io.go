@@ -122,17 +122,7 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if err := binary.Read(br, binary.LittleEndian, adj); err != nil {
 		return nil, err
 	}
-	g := &Graph{offsets: offsets, adj: adj, n: n, m: m}
-	for v := int32(0); v < n; v++ {
-		if g.offsets[v] > g.offsets[v+1] || g.offsets[v+1] > int64(len(adj)) {
-			return nil, fmt.Errorf("graph: corrupt offsets at vertex %d", v)
-		}
-		if d := g.Degree(v); d > g.maxDeg {
-			g.maxDeg = d
-		}
-	}
-	if err := g.Validate(); err != nil {
-		return nil, err
-	}
-	return g, nil
+	// adj was sized from the header's m, so FromCSR's offsets/adjacency
+	// consistency checks also pin the decoded graph to the claimed m.
+	return FromCSR(offsets, adj)
 }

@@ -1,0 +1,200 @@
+package server
+
+// This file is the persistence glue between the Registry and internal/store
+// (DESIGN.md §8).
+//
+// Durability contract: the per-graph serialized writer appends every update
+// batch to the graph's WAL (and fsyncs) before applying it, and periodically
+// folds the WAL into a fresh binary CSR snapshot (the checkpoint — it reuses
+// the immutable snapshot the write path just built, so no extra export).
+// Recovery loads the latest snapshot, rebuilds the paper's maintainer on it
+// (recomputing all scores and evidence state, which is never persisted — it
+// is reproducible and dwarfs the graph on disk), and replays the WAL tail
+// through the same deterministic batch-application code the live writer
+// uses, so the recovered top-k state matches a process that never crashed.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dynamic"
+	"repro/internal/store"
+)
+
+// Maintenance-mode tags in persisted snapshot headers.
+const (
+	modeTagLocal uint8 = 0
+	modeTagLazy  uint8 = 1
+)
+
+func modeToTag(mode string) uint8 {
+	if mode == ModeLazy {
+		return modeTagLazy
+	}
+	return modeTagLocal
+}
+
+func modeFromTag(tag uint8) (string, error) {
+	switch tag {
+	case modeTagLocal:
+		return ModeLocal, nil
+	case modeTagLazy:
+		return ModeLazy, nil
+	default:
+		return "", fmt.Errorf("server: unknown persisted mode tag %d", tag)
+	}
+}
+
+// storeOptions builds the per-graph store options, binding the registry's
+// crash hook to the graph name.
+func (r *Registry) storeOptions(name string) []store.Option {
+	if r.crashHook == nil {
+		return nil
+	}
+	return []store.Option{store.WithCrashHook(func(point string) error {
+		return r.crashHook(name, point)
+	})}
+}
+
+// persistMeta is the snapshot metadata for this entry at WAL sequence seq.
+func (e *entry) persistMeta(seq uint64) store.SnapshotMeta {
+	meta := store.SnapshotMeta{Mode: modeToTag(e.mode), Seq: seq}
+	if e.lazy != nil {
+		meta.LazyK = uint32(e.lazy.K())
+	}
+	return meta
+}
+
+// mirrorPersist refreshes the entry's lock-free persistence counters from
+// the store. Callers hold e.mu.
+func (e *entry) mirrorPersist() {
+	if e.st == nil {
+		return
+	}
+	e.walSeq.Store(e.st.Seq())
+	e.walBytes.Store(e.st.WALBytes())
+	e.snapSeq.Store(e.st.SnapshotSeq())
+	e.ckpts.Store(e.st.Checkpoints())
+}
+
+// maybeCheckpoint folds the WAL into a fresh snapshot once the policy says
+// so: every ckptBatches update batches or once the WAL passes ckptBytes. It
+// encodes the graph of the current published snapshot — which reflects every
+// durable batch — so the checkpoint costs one file write, not a CSR export.
+// Callers hold e.mu.
+func (e *entry) maybeCheckpoint(ckptBatches int, ckptBytes int64) error {
+	if e.st == nil {
+		return nil
+	}
+	defer e.mirrorPersist()
+	e.sinceCkpt++
+	if e.sinceCkpt < ckptBatches && e.st.WALBytes() < ckptBytes {
+		return nil
+	}
+	if err := e.st.Checkpoint(e.snap.Load().g, e.persistMeta(e.st.Seq())); err != nil {
+		return err
+	}
+	e.sinceCkpt = 0
+	return nil
+}
+
+// Close releases every graph's durable store — WAL handles and the
+// per-directory locks that exclude a second opener. The registry must not
+// serve afterwards. Clean daemon shutdown calls it; so do tests and
+// examples that reopen a data dir in-process, where it stands in for the
+// lock release a real process death performs automatically.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, e := range r.entries {
+		e.mu.Lock()
+		if e.st != nil {
+			if err := e.st.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		e.mu.Unlock()
+	}
+	return first
+}
+
+// Recover loads every graph persisted under the registry's data directory:
+// latest snapshot, then the WAL tail replayed through the paper's
+// maintainer. It returns the recovered graphs' summaries. Call it once,
+// before serving traffic; recovering a name that is already registered is an
+// error.
+func (r *Registry) Recover() ([]GraphInfo, error) {
+	if r.dataDir == "" {
+		return nil, nil
+	}
+	names, err := store.ListGraphs(r.dataDir)
+	if err != nil {
+		return nil, fmt.Errorf("server: recover: %w", err)
+	}
+	infos := make([]GraphInfo, 0, len(names))
+	for _, name := range names {
+		gi, err := r.recoverOne(name)
+		if err != nil {
+			return infos, fmt.Errorf("server: recover graph %q: %w", name, err)
+		}
+		infos = append(infos, gi)
+	}
+	return infos, nil
+}
+
+// recoverOne rebuilds one graph from its store directory. The maintainer is
+// reconstructed on the snapshot graph (recomputing all scores and evidence
+// exactly), then the WAL tail is replayed through applyLocked — the same
+// deterministic code the live writer runs — so the final state equals the
+// pre-crash state.
+func (r *Registry) recoverOne(name string) (GraphInfo, error) {
+	// Refuse before touching the store: opening would contend on the
+	// directory lock the already-registered graph holds.
+	r.mu.RLock()
+	_, dup := r.entries[name]
+	r.mu.RUnlock()
+	if dup {
+		return GraphInfo{}, fmt.Errorf("graph already registered: %w", ErrDuplicate)
+	}
+	st, rec, err := store.Open(store.GraphDir(r.dataDir, name), r.storeOptions(name)...)
+	if err != nil {
+		return GraphInfo{}, err
+	}
+	mode, err := modeFromTag(rec.Meta.Mode)
+	if err != nil {
+		st.Close()
+		return GraphInfo{}, err
+	}
+
+	e := &entry{name: name, mode: mode, workers: r.workers, st: st}
+	t0 := time.Now()
+	if mode == ModeLocal {
+		e.local = dynamic.NewMaintainerParallel(rec.Graph, e.workers)
+	} else {
+		lazyK := int(rec.Meta.LazyK)
+		if lazyK < 1 {
+			lazyK = 10
+		}
+		e.lazy = dynamic.NewLazyTopKParallel(rec.Graph, lazyK, e.workers)
+	}
+	for _, b := range rec.Tail {
+		e.applyLocked(b.Edges, b.Insert)
+	}
+	// The epoch restarts at wal-seq+1, so it keeps advancing with the
+	// batch sequence across restarts instead of snapping back to 1.
+	s := e.buildSnapshot(st.Seq() + 1)
+	s.buildDur = time.Since(t0)
+	e.snap.Store(s)
+	e.sinceCkpt = len(rec.Tail)
+	e.mirrorPersist()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		st.Close()
+		return GraphInfo{}, fmt.Errorf("graph already registered: %w", ErrDuplicate)
+	}
+	r.entries[name] = e
+	return e.info(), nil
+}

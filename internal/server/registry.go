@@ -12,6 +12,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/ego"
 	"repro/internal/graph"
+	"repro/internal/store"
 )
 
 // Maintenance modes for a served graph.
@@ -106,11 +107,24 @@ type entry struct {
 	local *dynamic.Maintainer // ModeLocal
 	lazy  *dynamic.LazyTopK   // ModeLazy
 
+	// st is the graph's durable store (nil without WithDataDir). Set once
+	// before the entry is published, used only under mu; sinceCkpt counts
+	// the batches appended since the last durable checkpoint.
+	st        *store.Store
+	sinceCkpt int
+
 	// Accounting. Atomics, written from both read and write paths.
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	inserts     atomic.Int64
 	deletes     atomic.Int64
+
+	// Lock-free mirrors of the store's accounting, refreshed after every
+	// durable operation so GraphInfo never has to take mu.
+	walSeq   atomic.Uint64
+	walBytes atomic.Int64
+	snapSeq  atomic.Uint64
+	ckpts    atomic.Int64
 }
 
 // ErrDuplicate marks an Add that lost to an existing graph of the same
@@ -118,11 +132,23 @@ type entry struct {
 // plain request validation failures (400).
 var ErrDuplicate = fmt.Errorf("graph name already exists")
 
+// ErrStorage marks a durability failure (WAL append, fsync, checkpoint) on
+// an otherwise valid request, so the HTTP layer can answer 500 — the
+// server's disk, not the client's request, is at fault.
+var ErrStorage = fmt.Errorf("storage failure")
+
 // maxBatchGrowth bounds how far one edge batch may grow the vertex set
 // beyond the current maximum id. The maintainers grow the vertex set to
 // max(u,v)+1 on insert, so without a bound a single request naming vertex
 // 2e9 would allocate tens of gigabytes under the write lock.
 const maxBatchGrowth = 4096
+
+// Default checkpoint policy: snapshot + WAL truncation after this many
+// batches or this many WAL bytes, whichever comes first.
+const (
+	defaultCheckpointBatches = 16
+	defaultCheckpointBytes   = 4 << 20
+)
 
 // Registry is a named collection of served graphs. Lookup is guarded by a
 // read-write mutex; everything per-graph uses the entry's own scheme.
@@ -130,6 +156,12 @@ type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
 	workers int // snapshot-build worker budget applied to new graphs
+
+	// Persistence (DESIGN.md §8). Empty dataDir means in-memory only.
+	dataDir     string
+	ckptBatches int
+	ckptBytes   int64
+	crashHook   func(graph, point string) error
 }
 
 // RegistryOption configures a Registry.
@@ -143,10 +175,44 @@ func WithBuildWorkers(n int) RegistryOption {
 	return func(r *Registry) { r.workers = n }
 }
 
+// WithDataDir makes the registry durable: every graph gets a WAL + snapshot
+// store under dir, every update batch is logged before it is applied, and
+// Recover reloads the whole registry after a restart or crash.
+func WithDataDir(dir string) RegistryOption {
+	return func(r *Registry) { r.dataDir = dir }
+}
+
+// WithCheckpointPolicy sets when a graph's WAL is folded into a fresh
+// snapshot and truncated: after batches update batches or once the WAL
+// exceeds bytes, whichever comes first. Non-positive values keep the
+// defaults (16 batches, 4 MiB).
+func WithCheckpointPolicy(batches int, bytes int64) RegistryOption {
+	return func(r *Registry) {
+		if batches > 0 {
+			r.ckptBatches = batches
+		}
+		if bytes > 0 {
+			r.ckptBytes = bytes
+		}
+	}
+}
+
+// WithCrashHook installs a crash-injection hook on every graph store,
+// invoked at each durability point with the graph name; a non-nil return
+// aborts the operation exactly there, leaving the files as a real crash
+// would. It exists for the crash-recovery test harness.
+func WithCrashHook(h func(graph, point string) error) RegistryOption {
+	return func(r *Registry) { r.crashHook = h }
+}
+
 // NewRegistry returns an empty registry. The default snapshot-build worker
 // budget is GOMAXPROCS.
 func NewRegistry(opts ...RegistryOption) *Registry {
-	r := &Registry{entries: make(map[string]*entry)}
+	r := &Registry{
+		entries:     make(map[string]*entry),
+		ckptBatches: defaultCheckpointBatches,
+		ckptBytes:   defaultCheckpointBytes,
+	}
 	for _, o := range opts {
 		o(r)
 	}
@@ -229,18 +295,39 @@ func (r *Registry) Add(name string, g *graph.Graph, mode string, lazyK int) (Gra
 	if _, dup := r.entries[name]; dup {
 		return GraphInfo{}, fmt.Errorf("server: graph %q: %w", name, ErrDuplicate)
 	}
+	// Creating the store under r.mu keeps the name-reservation and the
+	// directory creation atomic (two racing Adds must not both write the
+	// same directory); the cost is one snapshot write while lookups wait.
+	if r.dataDir != "" {
+		st, err := store.Create(store.GraphDir(r.dataDir, name), g,
+			e.persistMeta(0), r.storeOptions(name)...)
+		if err != nil {
+			return GraphInfo{}, fmt.Errorf("server: graph %q: %w", name, err)
+		}
+		e.st = st
+		e.mirrorPersist()
+	}
 	r.entries[name] = e
 	return e.info(), nil
 }
 
-// Remove drops the named graph.
+// Remove drops the named graph, deleting its durable store (if any) with it.
 func (r *Registry) Remove(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if _, ok := r.entries[name]; !ok {
+	e, ok := r.entries[name]
+	if !ok {
+		r.mu.Unlock()
 		return fmt.Errorf("server: no graph named %q", name)
 	}
 	delete(r.entries, name)
+	r.mu.Unlock()
+	if e.st != nil {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if err := e.st.Remove(); err != nil {
+			return fmt.Errorf("server: graph %q: remove store: %w", name, err)
+		}
+	}
 	return nil
 }
 
@@ -257,6 +344,16 @@ type GraphInfo struct {
 	LazyK           int     `json:"lazy_k,omitempty"`
 	BuildWorkers    int     `json:"build_workers"`
 	SnapshotBuildMS float64 `json:"snapshot_build_ms"`
+
+	// Persistence accounting (WithDataDir only): the last durable WAL batch
+	// sequence, the current WAL size, the sequence folded into the on-disk
+	// snapshot, and the checkpoints taken since this process opened the
+	// graph.
+	Persisted   bool   `json:"persisted,omitempty"`
+	WALSeq      uint64 `json:"wal_seq,omitempty"`
+	WALBytes    int64  `json:"wal_bytes,omitempty"`
+	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
+	Checkpoints int64  `json:"checkpoints,omitempty"`
 }
 
 func (e *entry) info() GraphInfo {
@@ -274,6 +371,13 @@ func (e *entry) infoAt(s *snapshot) GraphInfo {
 	}
 	if e.lazy != nil {
 		gi.LazyK = e.lazy.K()
+	}
+	if e.st != nil {
+		gi.Persisted = true
+		gi.WALSeq = e.walSeq.Load()
+		gi.WALBytes = e.walBytes.Load()
+		gi.SnapshotSeq = e.snapSeq.Load()
+		gi.Checkpoints = e.ckpts.Load()
 	}
 	return gi
 }
@@ -485,6 +589,12 @@ type UpdateResult struct {
 // O(n+m) snapshot export over the batch. Edges that fail individually
 // (duplicate insert, missing delete, self-loop) are reported but do not
 // abort the rest of the batch.
+//
+// On a durable registry (WithDataDir) the batch is appended to the graph's
+// WAL before it is applied: an error from the append means nothing was
+// applied, while an error from the checkpoint that may follow the apply
+// means the batch itself is already durable and applied — the returned
+// UpdateResult is valid alongside such an error.
 func (r *Registry) ApplyEdges(name string, edges [][2]int32, insert bool) (UpdateResult, error) {
 	e, err := r.get(name)
 	if err != nil {
@@ -496,6 +606,34 @@ func (r *Registry) ApplyEdges(name string, edges [][2]int32, insert bool) (Updat
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.st != nil {
+		if _, err := e.st.AppendBatch(insert, edges); err != nil {
+			e.mirrorPersist()
+			return UpdateResult{}, fmt.Errorf("server: graph %q: %w: %w", name, ErrStorage, err)
+		}
+	}
+	res := e.applyLocked(edges, insert)
+
+	old := e.snap.Load()
+	if res.Applied == 0 {
+		// Nothing changed: keep the current snapshot (and its cache).
+		res.Epoch = old.epoch
+	} else {
+		e.snap.Store(e.buildSnapshot(old.epoch + 1))
+		res.Epoch = old.epoch + 1
+	}
+	if err := e.maybeCheckpoint(r.ckptBatches, r.ckptBytes); err != nil {
+		return res, fmt.Errorf("server: graph %q: %w: %w", name, ErrStorage, err)
+	}
+	return res, nil
+}
+
+// applyLocked routes one batch through the graph's maintainer, skipping
+// per-edge failures. It is deliberately deterministic in the graph state and
+// the batch alone — WAL replay calls it with the logged batches to reproduce
+// the live outcome exactly. Callers hold e.mu (or own the entry exclusively,
+// as recovery does before publication).
+func (e *entry) applyLocked(edges [][2]int32, insert bool) UpdateResult {
 	res := UpdateResult{Graph: e.name}
 	// Inserts may grow the vertex set to max(u,v)+1, so bound how far one
 	// batch can push it: ids beyond the limit fail per-edge instead of
@@ -536,16 +674,7 @@ func (r *Registry) ApplyEdges(name string, edges [][2]int32, insert bool) (Updat
 			e.deletes.Add(1)
 		}
 	}
-
-	old := e.snap.Load()
-	if res.Applied == 0 {
-		// Nothing changed: keep the current snapshot (and its cache).
-		res.Epoch = old.epoch
-		return res, nil
-	}
-	e.snap.Store(e.buildSnapshot(old.epoch + 1))
-	res.Epoch = old.epoch + 1
-	return res, nil
+	return res
 }
 
 // buildSnapshot freezes the maintainer's current graph (and, in ModeLocal,

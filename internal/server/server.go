@@ -350,8 +350,14 @@ func (s *Server) handleEdges(insert bool) http.HandlerFunc {
 		}
 		res, err := s.reg.ApplyEdges(name, batch.Edges, insert)
 		if err != nil {
+			// A storage failure is the server's fault, not the request's.
+			// (For a failed checkpoint the batch itself is already durable
+			// and applied — ApplyEdges documents this — but the operator
+			// needs the 500 more than the client needs the partial result.)
 			status := http.StatusBadRequest
-			if _, lookupErr := s.reg.Info(name); lookupErr != nil {
+			if errors.Is(err, ErrStorage) {
+				status = http.StatusInternalServerError
+			} else if _, lookupErr := s.reg.Info(name); lookupErr != nil {
 				status = http.StatusNotFound
 			}
 			writeError(w, status, err)

@@ -1,0 +1,133 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The decoders guard the trust boundary between the filesystem and the
+// serving layer: whatever bytes a crash, a bad disk, or an operator's cp
+// left behind, they must fail with an error — never panic, never
+// over-allocate, never hand back a structurally invalid graph. Seed corpora
+// (valid files plus near-miss mutations) live under testdata/fuzz/; CI runs
+// both targets for a short smoke budget (non-gating), `go test -fuzz` runs
+// them open-endedly.
+
+func fuzzSnapshotSeeds() [][]byte {
+	g1, _ := graph.FromEdges(3, [][2]int32{{0, 1}, {1, 2}, {0, 2}})
+	g2, _ := graph.FromEdges(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {3, 4}})
+	empty, _ := graph.FromEdges(0, nil)
+	valid := EncodeSnapshot(g1, SnapshotMeta{Mode: 1, LazyK: 7, Seq: 42})
+	truncated := valid[:len(valid)-6]
+	flipped := append([]byte(nil), EncodeSnapshot(g2, SnapshotMeta{})...)
+	flipped[len(flipped)/2] ^= 0x10
+	return [][]byte{
+		valid,
+		EncodeSnapshot(g2, SnapshotMeta{Seq: 1}),
+		EncodeSnapshot(empty, SnapshotMeta{}),
+		truncated,
+		flipped,
+		snapMagic[:],
+	}
+}
+
+// TestSeedCorpora keeps the on-disk fuzz seed corpora (testdata/fuzz/<Fuzz
+// target>/) in sync with the in-code seeds: -update rewrites them, normal
+// runs verify they exist and carry the current format. `go test` always
+// executes corpus files as regression inputs, and `go test -fuzz` mutates
+// from them.
+func TestSeedCorpora(t *testing.T) {
+	for target, seeds := range map[string][][]byte{
+		"FuzzDecodeSnapshot": fuzzSnapshotSeeds(),
+		"FuzzDecodeWAL":      fuzzWALSeeds(),
+	} {
+		dir := filepath.Join("testdata", "fuzz", target)
+		if *update {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			for i, seed := range seeds {
+				body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", seed)
+				path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+				if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("seed corpus for %s (regenerate with -update): %v", target, err)
+		}
+		if len(ents) < len(seeds) {
+			t.Fatalf("seed corpus for %s has %d files, want ≥ %d (regenerate with -update)",
+				target, len(ents), len(seeds))
+		}
+	}
+}
+
+func FuzzDecodeSnapshot(f *testing.F) {
+	for _, seed := range fuzzSnapshotSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, meta, err := DecodeSnapshot(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must be fully self-consistent: a valid graph whose
+		// canonical re-encoding reproduces the input byte for byte.
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoded graph invalid: %v", err)
+		}
+		if re := EncodeSnapshot(g, meta); !bytes.Equal(re, data) {
+			t.Fatalf("accepted snapshot is not canonical: %d in, %d re-encoded", len(data), len(re))
+		}
+	})
+}
+
+func fuzzWALSeeds() [][]byte {
+	valid := walImage(
+		Batch{Seq: 1, Insert: true, Edges: [][2]int32{{0, 1}, {2, 3}}},
+		Batch{Seq: 2, Insert: false, Edges: [][2]int32{{0, 1}}},
+		Batch{Seq: 3, Insert: true, Edges: nil},
+	)
+	torn := valid[:len(valid)-4]
+	flipped := append([]byte(nil), valid...)
+	flipped[walHeaderLen+9] ^= 0x01
+	return [][]byte{valid, torn, flipped, walFileHeader(), walMagic[:]}
+}
+
+func FuzzDecodeWAL(f *testing.F) {
+	for _, seed := range fuzzWALSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batches, valid, err := DecodeWAL(data)
+		if err != nil {
+			if len(batches) != 0 || valid != 0 {
+				t.Fatalf("error with partial results: %d batches, valid=%d", len(batches), valid)
+			}
+			return
+		}
+		if valid < walHeaderLen || valid > len(data) {
+			t.Fatalf("valid prefix %d out of range [%d, %d]", valid, walHeaderLen, len(data))
+		}
+		// The valid prefix must re-encode to exactly its own bytes: the
+		// decode → encode → decode cycle is the torn-tail repair path.
+		img := walFileHeader()
+		for _, b := range batches {
+			img = append(img, EncodeBatch(b)...)
+		}
+		if !bytes.Equal(img, data[:valid]) {
+			t.Fatalf("valid prefix is not canonical (%d bytes in, %d re-encoded)", valid, len(img))
+		}
+		if re, revalid, err := DecodeWAL(img); err != nil || revalid != len(img) || len(re) != len(batches) {
+			t.Fatalf("repaired log does not re-decode cleanly: %v", err)
+		}
+	})
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// flockExclusive is a no-op where flock(2) is unavailable: the store still
+// works, it just cannot exclude a second opener at the OS level.
+func flockExclusive(_ *os.File) error { return nil }

@@ -1,0 +1,15 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive flock(2) on f. flock locks
+// are tied to the open file description: any process death releases them,
+// and a second open of the same file — even within one process — conflicts.
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -1,0 +1,104 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Graph names arrive from the HTTP API and may contain anything — path
+// separators, dots, bytes hostile to a filesystem. Directory names use a
+// conservative percent-encoding: [A-Za-z0-9_-] pass through, every other
+// byte (including '.', so "." and ".." are impossible) becomes %XX. The
+// mapping is injective, so distinct graphs never share a directory.
+
+const hexDigits = "0123456789ABCDEF"
+
+func safeNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+}
+
+// encodeName maps a graph name to its directory name.
+func encodeName(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if safeNameByte(c) {
+			b.WriteByte(c)
+			continue
+		}
+		b.WriteByte('%')
+		b.WriteByte(hexDigits[c>>4])
+		b.WriteByte(hexDigits[c&0xF])
+	}
+	return b.String()
+}
+
+// decodeName inverts encodeName, rejecting directory names it never
+// produces.
+func decodeName(dir string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(dir); i++ {
+		c := dir[i]
+		switch {
+		case c == '%':
+			if i+2 >= len(dir) {
+				return "", fmt.Errorf("store: truncated escape in directory name %q", dir)
+			}
+			hi := strings.IndexByte(hexDigits, dir[i+1])
+			lo := strings.IndexByte(hexDigits, dir[i+2])
+			if hi < 0 || lo < 0 {
+				return "", fmt.Errorf("store: bad escape in directory name %q", dir)
+			}
+			dec := byte(hi<<4 | lo)
+			if safeNameByte(dec) {
+				// encodeName never escapes a safe byte; accepting the
+				// non-canonical form would let two directories decode to
+				// the same graph name.
+				return "", fmt.Errorf("store: non-canonical escape in directory name %q", dir)
+			}
+			b.WriteByte(dec)
+			i += 2
+		case safeNameByte(c):
+			b.WriteByte(c)
+		default:
+			return "", fmt.Errorf("store: unexpected byte %q in directory name %q", c, dir)
+		}
+	}
+	return b.String(), nil
+}
+
+// GraphDir returns the per-graph store directory under dataDir.
+func GraphDir(dataDir, name string) string {
+	return filepath.Join(dataDir, encodeName(name))
+}
+
+// ListGraphs returns the graph names persisted under dataDir, sorted. A
+// missing dataDir is an empty store, not an error; directory entries that
+// encodeName never produces are reported as an error rather than silently
+// skipped — a data directory holds acknowledged durable state, so anything
+// unrecognized in it deserves eyes.
+func ListGraphs(dataDir string) ([]string, error) {
+	ents, err := os.ReadDir(dataDir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: list %s: %w", dataDir, err)
+	}
+	var names []string
+	for _, ent := range ents {
+		if !ent.IsDir() {
+			return nil, fmt.Errorf("store: unexpected file %q in data dir %s", ent.Name(), dataDir)
+		}
+		name, err := decodeName(ent.Name())
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

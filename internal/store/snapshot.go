@@ -1,0 +1,200 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+)
+
+// SnapshotVersion is the on-disk snapshot format version this build writes
+// and the only one it accepts. Bump it on any layout change; decoders reject
+// other versions loudly instead of misreading them.
+const SnapshotVersion = 1
+
+// snapMagic identifies a snapshot file ("EBWS": Ego-BetWeenness Snapshot).
+var snapMagic = [4]byte{'E', 'B', 'W', 'S'}
+
+// SnapshotMeta is the serving metadata carried in a snapshot header.
+type SnapshotMeta struct {
+	// Mode is an application-defined maintenance-mode tag (the serving
+	// layer stores 0 for local, 1 for lazy).
+	Mode uint8
+	// LazyK is the maintained k for lazy-mode graphs (0 otherwise).
+	LazyK uint32
+	// Seq is the last WAL batch sequence folded into this snapshot. WAL
+	// records with Seq ≤ this are already reflected in the graph.
+	Seq uint64
+}
+
+// Snapshot layout (all little-endian, fixed field order — the encoding of a
+// given graph+meta is byte-stable, which the golden-file tests pin down):
+//
+//	[0]  magic    [4]byte "EBWS"
+//	[4]  version  uint16
+//	[6]  mode     uint8
+//	[7]  reserved uint8 (must be 0)
+//	[8]  lazyK    uint32
+//	[12] seq      uint64
+//	[20] n        uint32
+//	[24] m        uint64
+//	[32] offLen   uint64 = (n+1)*8, then offLen bytes of int64 offsets
+//	[..] adjLen   uint64 = 2m*4,    then adjLen bytes of int32 adjacency
+//	[..] crc      uint32 (IEEE, over every preceding byte)
+const (
+	snapFixedHeaderLen = 40 // through the offLen field
+	snapTrailerLen     = 4  // the crc
+)
+
+// EncodeSnapshot serializes g and its metadata into the versioned,
+// CRC-trailed snapshot format.
+func EncodeSnapshot(g *graph.Graph, meta SnapshotMeta) []byte {
+	offsets, adj := g.CSR()
+	offLen := uint64(len(offsets)) * 8
+	adjLen := uint64(len(adj)) * 4
+	buf := make([]byte, 0, snapFixedHeaderLen+int(offLen)+8+int(adjLen)+snapTrailerLen)
+	buf = append(buf, snapMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, SnapshotVersion)
+	buf = append(buf, meta.Mode, 0)
+	buf = binary.LittleEndian.AppendUint32(buf, meta.LazyK)
+	buf = binary.LittleEndian.AppendUint64(buf, meta.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.NumVertices()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.NumEdges()))
+	buf = binary.LittleEndian.AppendUint64(buf, offLen)
+	for _, o := range offsets {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(o))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, adjLen)
+	for _, a := range adj {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(a))
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// DecodeSnapshot parses a snapshot produced by EncodeSnapshot, validating
+// the version, every length prefix, the checksum, and finally the full CSR
+// structural invariants. Corrupt, truncated, or trailing-garbage input
+// returns an error; it never panics and never allocates more than the input
+// itself implies.
+func DecodeSnapshot(data []byte) (*graph.Graph, SnapshotMeta, error) {
+	var meta SnapshotMeta
+	if len(data) < snapFixedHeaderLen+8+snapTrailerLen {
+		return nil, meta, fmt.Errorf("store: snapshot truncated (%d bytes)", len(data))
+	}
+	if [4]byte(data[0:4]) != snapMagic {
+		return nil, meta, fmt.Errorf("store: bad snapshot magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != SnapshotVersion {
+		return nil, meta, fmt.Errorf("store: unsupported snapshot version %d (this build reads %d)", v, SnapshotVersion)
+	}
+	meta.Mode = data[6]
+	if data[7] != 0 {
+		return nil, meta, fmt.Errorf("store: corrupt snapshot header (reserved byte %#x)", data[7])
+	}
+	meta.LazyK = binary.LittleEndian.Uint32(data[8:12])
+	meta.Seq = binary.LittleEndian.Uint64(data[12:20])
+	n64 := uint64(binary.LittleEndian.Uint32(data[20:24]))
+	m := binary.LittleEndian.Uint64(data[24:32])
+	if n64 > math.MaxInt32 {
+		return nil, meta, fmt.Errorf("store: snapshot n=%d beyond int32", n64)
+	}
+	offLen := binary.LittleEndian.Uint64(data[32:40])
+	if offLen != (n64+1)*8 {
+		return nil, meta, fmt.Errorf("store: snapshot offsets section is %d bytes, n=%d implies %d", offLen, n64, (n64+1)*8)
+	}
+	// Every section length is determined by the header, so the total file
+	// size is too; requiring exact equality rejects truncation and trailing
+	// garbage before any allocation, and bounds every allocation below by
+	// len(data).
+	total := uint64(snapFixedHeaderLen) + offLen + 8 + 8*m + snapTrailerLen
+	if m > (math.MaxUint64-uint64(snapFixedHeaderLen)-offLen-8-snapTrailerLen)/8 || total != uint64(len(data)) {
+		return nil, meta, fmt.Errorf("store: snapshot is %d bytes, header implies %d", len(data), total)
+	}
+	if adjLen := binary.LittleEndian.Uint64(data[snapFixedHeaderLen+offLen : snapFixedHeaderLen+offLen+8]); adjLen != 8*m {
+		return nil, meta, fmt.Errorf("store: snapshot adjacency section is %d bytes, m=%d implies %d", adjLen, m, 8*m)
+	}
+	body, crcBytes := data[:len(data)-snapTrailerLen], data[len(data)-snapTrailerLen:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(crcBytes); got != want {
+		return nil, meta, fmt.Errorf("store: snapshot checksum mismatch (file %#x, computed %#x)", want, got)
+	}
+
+	offsets := make([]int64, n64+1)
+	pos := uint64(snapFixedHeaderLen)
+	for i := range offsets {
+		offsets[i] = int64(binary.LittleEndian.Uint64(data[pos : pos+8]))
+		pos += 8
+	}
+	pos += 8 // adjLen field
+	adj := make([]int32, 2*m)
+	for i := range adj {
+		adj[i] = int32(binary.LittleEndian.Uint32(data[pos : pos+4]))
+		pos += 4
+	}
+	g, err := graph.FromCSR(offsets, adj)
+	if err != nil {
+		return nil, meta, fmt.Errorf("store: snapshot body: %w", err)
+	}
+	return g, meta, nil
+}
+
+// writeSnapshotFile atomically replaces path with the encoded snapshot:
+// write to a temp file in the same directory, fsync, rename over path, fsync
+// the directory. A crash at any point leaves either the old or the new
+// snapshot fully intact, never a torn one. A non-nil hook is the crash-
+// injection seam: it runs once the temp file is durable, just before the
+// rename (CrashAfterSnapshotTmp), and a non-nil return aborts there.
+func writeSnapshotFile(path string, g *graph.Graph, meta SnapshotMeta, hook func(point string) error) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: snapshot temp: %w", err)
+	}
+	if _, err := f.Write(EncodeSnapshot(g, meta)); err != nil {
+		f.Close()
+		return fmt.Errorf("store: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: snapshot sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: snapshot close: %w", err)
+	}
+	if hook != nil {
+		if err := hook(CrashAfterSnapshotTmp); err != nil {
+			return err
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: snapshot rename: %w", err)
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// readSnapshotFile loads and decodes the snapshot at path.
+func readSnapshotFile(path string) (*graph.Graph, SnapshotMeta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, SnapshotMeta{}, err
+	}
+	g, meta, err := DecodeSnapshot(data)
+	if err != nil {
+		return nil, SnapshotMeta{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, meta, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed or just-created entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,375 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+)
+
+// File names inside a graph's directory. The snapshot is only ever replaced
+// by rename, so it is always intact; the WAL is the only file a crash can
+// tear, and only at its tail. The lock file carries an exclusive flock held
+// for the Store's lifetime, so a second process (or a second Store in this
+// process) opening the same directory fails loudly instead of interleaving
+// WAL appends; the kernel releases it on any process death, so a kill -9
+// never wedges a restart.
+const (
+	snapshotFile = "snapshot.ebws"
+	walFile      = "wal.ebwl"
+	lockFile     = "LOCK"
+)
+
+// Crash-hook points. The hook runs at each named point of a durability
+// operation; a non-nil return aborts the operation exactly there, leaving
+// the on-disk files as a real crash at that instant would. The recovery test
+// harness uses this to kill the serving layer mid-checkpoint.
+const (
+	// CrashBeforeWALAppend fires before a batch record is written: the
+	// batch is lost, as if the process died before acknowledging it.
+	CrashBeforeWALAppend = "before-wal-append"
+	// CrashAfterWALAppend fires after the record is written and synced:
+	// the batch is durable even though the caller never applied it.
+	CrashAfterWALAppend = "after-wal-append"
+	// CrashBeforeCheckpoint fires at checkpoint start (WAL intact).
+	CrashBeforeCheckpoint = "before-checkpoint"
+	// CrashAfterSnapshotTmp fires after the new snapshot's temp file is
+	// written but before it is renamed into place: the old snapshot still
+	// rules, the full WAL still stands.
+	CrashAfterSnapshotTmp = "after-snapshot-tmp"
+	// CrashAfterSnapshotRename fires after the new snapshot is in place
+	// but before the WAL is truncated: recovery must skip WAL records
+	// already folded into the snapshot (Seq ≤ Meta.Seq).
+	CrashAfterSnapshotRename = "after-snapshot-rename"
+)
+
+// Store is the durable state of one served graph: the current snapshot file
+// plus an append-only WAL of the batches applied since. Methods are not
+// goroutine-safe; the serving layer calls them under its per-graph write
+// lock, which is also the WAL's append serialization.
+type Store struct {
+	dir   string
+	sync  bool
+	crash func(point string) error
+
+	lock     *os.File // holds the exclusive flock on lockFile
+	wal      *os.File
+	walBytes int64
+	seq      uint64 // last batch sequence appended to the WAL
+	snapSeq  uint64 // sequence folded into the on-disk snapshot
+	ckpts    int64  // checkpoints taken by this Store instance
+
+	// failed poisons the store after any durability error (including an
+	// injected crash): once an append or checkpoint has failed, the WAL
+	// state on disk is unknown, and continuing to append could silently
+	// orphan acknowledged batches behind a torn record — so every
+	// subsequent durable operation fails with the original error instead.
+	failed error
+}
+
+// Option configures a Store at Create/Open time.
+type Option func(*Store)
+
+// WithSync controls fsync on WAL appends (default true). Turning it off
+// trades the power-loss guarantee for append latency; process crashes are
+// still covered because the OS has the write.
+func WithSync(sync bool) Option {
+	return func(s *Store) { s.sync = sync }
+}
+
+// WithCrashHook installs a crash-injection hook for the recovery tests; see
+// the Crash* constants.
+func WithCrashHook(h func(point string) error) Option {
+	return func(s *Store) { s.crash = h }
+}
+
+func newStore(dir string, opts ...Option) *Store {
+	s := &Store{dir: dir, sync: true, crash: func(string) error { return nil }}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Create initializes dir as a graph store: the initial snapshot (meta.Seq is
+// normally 0) and an empty WAL. An existing store in dir is replaced. On any
+// failure the directory is removed again, so a graph whose creation was
+// reported as failed can never be resurrected by a later recovery scan.
+func Create(dir string, g *graph.Graph, meta SnapshotMeta, opts ...Option) (*Store, error) {
+	s := newStore(dir, opts...)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create %s: %w", dir, err)
+	}
+	if err := s.acquireLock(); err != nil {
+		return nil, err
+	}
+	if err := writeSnapshotFile(filepath.Join(dir, snapshotFile), g, meta, s.crash); err != nil {
+		s.releaseLock()
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	s.snapSeq = meta.Seq
+	s.seq = meta.Seq
+	if err := s.resetWAL(); err != nil {
+		s.releaseLock()
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	return s, nil
+}
+
+// Recovered is what Open found on disk: the snapshot and the ordered WAL
+// tail to replay on top of it.
+type Recovered struct {
+	Meta  SnapshotMeta
+	Graph *graph.Graph
+	// Tail holds the WAL batches with Seq > Meta.Seq, in append order, with
+	// consecutive sequences. Replaying them through the same deterministic
+	// application code the live writer uses reproduces the pre-crash state.
+	Tail []Batch
+	// TornBytes is how many trailing WAL bytes were dropped (and truncated
+	// away) because a crash tore the final record; 0 on a clean shutdown.
+	TornBytes int64
+}
+
+// Open recovers the store in dir: load the snapshot, decode the WAL, repair
+// a torn tail by truncation, and hand back the batches that post-date the
+// snapshot. The returned Store appends after the repaired tail.
+func Open(dir string, opts ...Option) (st *Store, rec *Recovered, err error) {
+	s := newStore(dir, opts...)
+	if err := s.acquireLock(); err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		if err != nil {
+			s.releaseLock()
+		}
+	}()
+	g, meta, err := readSnapshotFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	rec = &Recovered{Meta: meta, Graph: g}
+	s.snapSeq = meta.Seq
+	s.seq = meta.Seq
+
+	walPath := filepath.Join(dir, walFile)
+	data, err := os.ReadFile(walPath)
+	switch {
+	case os.IsNotExist(err):
+		// A crash between Create's snapshot write and WAL creation: no
+		// batch was ever acknowledged, start a fresh log.
+		if err := s.resetWAL(); err != nil {
+			return nil, nil, err
+		}
+		return s, rec, nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	if len(data) < walHeaderLen {
+		// A crash inside resetWAL's truncate→header window (checkpoint or
+		// create). The snapshot that preceded the truncation is intact and
+		// folds every acknowledged batch, and nothing can have been
+		// appended after a header that was never completed — so this is an
+		// empty log, not corruption.
+		rec.TornBytes = int64(len(data))
+		if err := s.resetWAL(); err != nil {
+			return nil, nil, err
+		}
+		return s, rec, nil
+	}
+	batches, valid, err := DecodeWAL(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %s: %w", walPath, err)
+	}
+	rec.TornBytes = int64(len(data)) - int64(valid)
+	// Keep the tail that post-dates the snapshot, insisting on consecutive
+	// sequences: the writer assigns Seq = prev+1 under its lock, so a gap or
+	// regression can only mean corruption that happened to pass the CRCs —
+	// fail loud rather than replay a wrong history.
+	for _, b := range batches {
+		if b.Seq <= meta.Seq {
+			continue
+		}
+		if b.Seq != s.seq+1 {
+			return nil, nil, fmt.Errorf("store: %s: batch sequence %d after %d (snapshot at %d)", walPath, b.Seq, s.seq, meta.Seq)
+		}
+		rec.Tail = append(rec.Tail, b)
+		s.seq = b.Seq
+	}
+
+	f, err := os.OpenFile(walPath, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	if rec.TornBytes > 0 {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("store: repair torn wal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("store: seek wal end: %w", err)
+	}
+	s.wal = f
+	s.walBytes = int64(valid)
+	return s, rec, nil
+}
+
+// fail poisons the store with err (keeping the first failure) and returns
+// it.
+func (s *Store) fail(err error) error {
+	if s.failed == nil {
+		s.failed = err
+	}
+	return err
+}
+
+// Failed returns the error that poisoned the store, or nil while it is
+// healthy.
+func (s *Store) Failed() error { return s.failed }
+
+// AppendBatch makes one edge-update batch durable and returns its sequence
+// number. Callers append before applying: a batch whose append fails must
+// not be applied, and a batch whose append succeeded will be replayed on
+// recovery even if the process dies before applying it. Any failure — a
+// partial write, a failed fsync — poisons the store (see Store.failed):
+// accepting further appends after a write of unknown extent could orphan
+// them behind a torn record, silently un-acknowledging them.
+func (s *Store) AppendBatch(insert bool, edges [][2]int32) (uint64, error) {
+	if s.failed != nil {
+		return 0, fmt.Errorf("store: poisoned by earlier failure: %w", s.failed)
+	}
+	if err := s.crash(CrashBeforeWALAppend); err != nil {
+		return 0, s.fail(err)
+	}
+	b := Batch{Seq: s.seq + 1, Insert: insert, Edges: edges}
+	rec := EncodeBatch(b)
+	if _, err := s.wal.Write(rec); err != nil {
+		return 0, s.fail(fmt.Errorf("store: wal append: %w", err))
+	}
+	if s.sync {
+		if err := s.wal.Sync(); err != nil {
+			return 0, s.fail(fmt.Errorf("store: wal sync: %w", err))
+		}
+	}
+	s.seq = b.Seq
+	s.walBytes += int64(len(rec))
+	if err := s.crash(CrashAfterWALAppend); err != nil {
+		return 0, s.fail(err)
+	}
+	return b.Seq, nil
+}
+
+// Checkpoint atomically replaces the snapshot with g (which must reflect
+// every batch up to meta.Seq, normally Seq()) and truncates the WAL. A crash
+// anywhere inside leaves a recoverable store: either the old snapshot with
+// the full WAL, or the new snapshot with a WAL whose stale prefix recovery
+// skips by sequence.
+func (s *Store) Checkpoint(g *graph.Graph, meta SnapshotMeta) error {
+	if s.failed != nil {
+		return fmt.Errorf("store: poisoned by earlier failure: %w", s.failed)
+	}
+	if err := s.crash(CrashBeforeCheckpoint); err != nil {
+		return s.fail(err)
+	}
+	if err := writeSnapshotFile(filepath.Join(s.dir, snapshotFile), g, meta, s.crash); err != nil {
+		return s.fail(err)
+	}
+	s.snapSeq = meta.Seq
+	if err := s.crash(CrashAfterSnapshotRename); err != nil {
+		return s.fail(err)
+	}
+	if err := s.resetWAL(); err != nil {
+		return s.fail(err)
+	}
+	s.ckpts++
+	return nil
+}
+
+// resetWAL (re)creates an empty WAL containing just the file header,
+// reusing the open handle when there is one.
+func (s *Store) resetWAL() error {
+	if s.wal == nil {
+		f, err := os.OpenFile(filepath.Join(s.dir, walFile), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: create wal: %w", err)
+		}
+		s.wal = f
+	} else {
+		if err := s.wal.Truncate(0); err != nil {
+			return fmt.Errorf("store: truncate wal: %w", err)
+		}
+		if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("store: rewind wal: %w", err)
+		}
+	}
+	if _, err := s.wal.Write(walFileHeader()); err != nil {
+		return fmt.Errorf("store: wal header: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("store: wal sync: %w", err)
+	}
+	s.walBytes = walHeaderLen
+	return nil
+}
+
+// Seq returns the last batch sequence made durable.
+func (s *Store) Seq() uint64 { return s.seq }
+
+// SnapshotSeq returns the sequence folded into the on-disk snapshot.
+func (s *Store) SnapshotSeq() uint64 { return s.snapSeq }
+
+// WALBytes returns the current WAL file size.
+func (s *Store) WALBytes() int64 { return s.walBytes }
+
+// Checkpoints returns how many checkpoints this Store instance has taken.
+func (s *Store) Checkpoints() int64 { return s.ckpts }
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close releases the WAL handle and the directory lock. The store stays
+// recoverable via Open.
+func (s *Store) Close() error {
+	var err error
+	if s.wal != nil {
+		err = s.wal.Close()
+		s.wal = nil
+	}
+	s.releaseLock()
+	return err
+}
+
+// Remove closes the store and deletes its directory.
+func (s *Store) Remove() error {
+	s.Close()
+	return os.RemoveAll(s.dir)
+}
+
+// acquireLock takes the exclusive, non-blocking flock on the store
+// directory's lock file. The kernel drops it on process death (including
+// kill -9), so crashes never wedge a restart, while a concurrently running
+// second opener — same process or another — fails immediately.
+func (s *Store) acquireLock() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, lockFile), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: lock file: %w", err)
+	}
+	if err := flockExclusive(f); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %s is in use by another opener: %w", s.dir, err)
+	}
+	s.lock = f
+	return nil
+}
+
+func (s *Store) releaseLock() {
+	if s.lock != nil {
+		s.lock.Close() // closing the descriptor releases the flock
+		s.lock = nil
+	}
+}

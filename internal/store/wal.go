@@ -1,0 +1,134 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// WALVersion is the on-disk write-ahead-log format version.
+const WALVersion = 1
+
+// walMagic identifies a WAL file ("EBWL": Ego-BetWeenness Log).
+var walMagic = [4]byte{'E', 'B', 'W', 'L'}
+
+// walHeaderLen is the fixed file header: magic, version uint16, reserved
+// uint16 (0).
+const walHeaderLen = 8
+
+// Batch is one durably logged edge-update batch, exactly as the client
+// submitted it (including edges that will fail individually on apply — the
+// application code skips those deterministically, so replay reproduces the
+// live outcome).
+type Batch struct {
+	Seq    uint64
+	Insert bool
+	Edges  [][2]int32
+}
+
+// WAL record layout (little-endian), appended back to back after the file
+// header:
+//
+//	payloadLen uint32 = 13 + 8*len(edges)
+//	crc        uint32 (IEEE, over the payload)
+//	payload:
+//	  seq      uint64
+//	  op       uint8 (1 insert, 0 delete)
+//	  numEdges uint32
+//	  edges    numEdges × (int32 u, int32 v)
+const walRecordFixed = 13 // seq + op + numEdges
+
+// walFileHeader returns the 8-byte WAL file header.
+func walFileHeader() []byte {
+	hdr := make([]byte, 0, walHeaderLen)
+	hdr = append(hdr, walMagic[:]...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, WALVersion)
+	return binary.LittleEndian.AppendUint16(hdr, 0)
+}
+
+// EncodeBatch serializes one WAL record.
+func EncodeBatch(b Batch) []byte {
+	payloadLen := walRecordFixed + 8*len(b.Edges)
+	buf := make([]byte, 0, 8+payloadLen)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // crc backfilled below
+	buf = binary.LittleEndian.AppendUint64(buf, b.Seq)
+	op := byte(0)
+	if b.Insert {
+		op = 1
+	}
+	buf = append(buf, op)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Edges)))
+	for _, e := range b.Edges {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e[0]))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e[1]))
+	}
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[8:]))
+	return buf
+}
+
+// decodeRecord parses one record at the front of data. ok=false means data
+// does not start with a complete, checksummed, self-consistent record — for
+// an append-only log that marks the torn tail, whatever the underlying cause.
+func decodeRecord(data []byte) (b Batch, size int, ok bool) {
+	if len(data) < 8 {
+		return Batch{}, 0, false
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(data[0:4]))
+	if payloadLen < walRecordFixed || len(data)-8 < payloadLen {
+		return Batch{}, 0, false
+	}
+	payload := data[8 : 8+payloadLen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[4:8]) {
+		return Batch{}, 0, false
+	}
+	numEdges := int(binary.LittleEndian.Uint32(payload[9:13]))
+	if payloadLen != walRecordFixed+8*numEdges {
+		return Batch{}, 0, false
+	}
+	b = Batch{
+		Seq:    binary.LittleEndian.Uint64(payload[0:8]),
+		Insert: payload[8] == 1,
+	}
+	if payload[8] > 1 {
+		return Batch{}, 0, false
+	}
+	b.Edges = make([][2]int32, numEdges)
+	for i := range b.Edges {
+		off := walRecordFixed + 8*i
+		b.Edges[i][0] = int32(binary.LittleEndian.Uint32(payload[off : off+4]))
+		b.Edges[i][1] = int32(binary.LittleEndian.Uint32(payload[off+4 : off+8]))
+	}
+	return b, 8 + payloadLen, true
+}
+
+// DecodeWAL parses a whole WAL file image. It returns every complete valid
+// record in order and the byte length of that valid prefix; valid <
+// len(data) means the tail is torn or corrupt and should be truncated away
+// (crash-recovery treats the first invalid record as the end of the log —
+// in an append-only file nothing after a torn write can be trusted). A bad
+// file header is a hard error: nothing in the file is usable.
+func DecodeWAL(data []byte) (batches []Batch, valid int, err error) {
+	if len(data) < walHeaderLen {
+		return nil, 0, fmt.Errorf("store: wal truncated before header (%d bytes)", len(data))
+	}
+	if [4]byte(data[0:4]) != walMagic {
+		return nil, 0, fmt.Errorf("store: bad wal magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != WALVersion {
+		return nil, 0, fmt.Errorf("store: unsupported wal version %d (this build reads %d)", v, WALVersion)
+	}
+	if binary.LittleEndian.Uint16(data[6:8]) != 0 {
+		return nil, 0, fmt.Errorf("store: corrupt wal header (reserved field)")
+	}
+	valid = walHeaderLen
+	for valid < len(data) {
+		b, size, ok := decodeRecord(data[valid:])
+		if !ok {
+			break
+		}
+		batches = append(batches, b)
+		valid += size
+	}
+	return batches, valid, nil
+}

@@ -1,0 +1,129 @@
+package store
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func walImage(batches ...Batch) []byte {
+	buf := walFileHeader()
+	for _, b := range batches {
+		buf = append(buf, EncodeBatch(b)...)
+	}
+	return buf
+}
+
+var walBatches = []Batch{
+	{Seq: 1, Insert: true, Edges: [][2]int32{{0, 1}, {2, 3}}},
+	{Seq: 2, Insert: false, Edges: [][2]int32{{0, 1}}},
+	{Seq: 3, Insert: true, Edges: [][2]int32{}},
+	{Seq: 4, Insert: true, Edges: [][2]int32{{7, 9}, {1, 5}, {5, 1}}},
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	img := walImage(walBatches...)
+	got, valid, err := DecodeWAL(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != len(img) {
+		t.Fatalf("valid = %d, want full image %d", valid, len(img))
+	}
+	if len(got) != len(walBatches) {
+		t.Fatalf("decoded %d batches, want %d", len(got), len(walBatches))
+	}
+	for i := range got {
+		if got[i].Seq != walBatches[i].Seq || got[i].Insert != walBatches[i].Insert ||
+			!reflect.DeepEqual(append([][2]int32{}, got[i].Edges...), append([][2]int32{}, walBatches[i].Edges...)) {
+			t.Fatalf("batch %d = %+v, want %+v", i, got[i], walBatches[i])
+		}
+	}
+}
+
+// TestWALTornTail: a record cut off mid-write (the only partial state a
+// crash can leave in an append-only file) must terminate the valid prefix
+// exactly at the last complete record.
+func TestWALTornTail(t *testing.T) {
+	complete := walImage(walBatches[:2]...)
+	torn := append(append([]byte(nil), complete...), EncodeBatch(walBatches[2])[:5]...)
+	got, valid, err := DecodeWAL(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != len(complete) {
+		t.Fatalf("valid = %d, want %d", valid, len(complete))
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d batches, want 2", len(got))
+	}
+}
+
+// TestWALCorruptRecordEndsLog: a flipped byte inside a record invalidates
+// its CRC; everything from that record on is dropped, even if later bytes
+// happen to look like records.
+func TestWALCorruptRecordEndsLog(t *testing.T) {
+	img := walImage(walBatches...)
+	hdrAndFirst := walHeaderLen + len(EncodeBatch(walBatches[0]))
+	img[hdrAndFirst+10] ^= 0x40 // inside the second record's payload
+	got, valid, err := DecodeWAL(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("decoded %d batches, want only the first", len(got))
+	}
+	if valid != hdrAndFirst {
+		t.Fatalf("valid = %d, want %d", valid, hdrAndFirst)
+	}
+}
+
+func TestWALHeaderRejections(t *testing.T) {
+	good := walImage()
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 'X'
+	badVersion := append([]byte(nil), good...)
+	badVersion[4] = 0xFF
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       good[:5],
+		"bad magic":   badMagic,
+		"bad version": badVersion,
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeWAL(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestWALRecordLengthLies: a record whose declared payload length disagrees
+// with its edge count must not be trusted even if the CRC was forged to
+// match.
+func TestWALRecordLengthLies(t *testing.T) {
+	rec := EncodeBatch(walBatches[0])
+	// Shrink the declared edge count without shortening the payload.
+	rec[8+8+1] = 1 // numEdges low byte: 2 → 1
+	// decodeRecord must reject it (the CRC already fails; even a forged CRC
+	// would hit the payloadLen/numEdges consistency check).
+	if _, _, ok := decodeRecord(rec); ok {
+		t.Fatal("inconsistent record accepted")
+	}
+	img := append(walFileHeader(), rec...)
+	if got, valid, err := DecodeWAL(img); err != nil || len(got) != 0 || valid != walHeaderLen {
+		t.Fatalf("got %d batches, valid=%d, err=%v; want torn at header", len(got), valid, err)
+	}
+}
+
+func TestWALEncodeIsCanonical(t *testing.T) {
+	for _, b := range walBatches {
+		enc := EncodeBatch(b)
+		dec, size, ok := decodeRecord(enc)
+		if !ok || size != len(enc) {
+			t.Fatalf("decodeRecord(%+v) failed", b)
+		}
+		if !bytes.Equal(EncodeBatch(dec), enc) {
+			t.Fatalf("re-encoding of %+v is not canonical", b)
+		}
+	}
+}

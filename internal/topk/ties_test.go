@@ -1,0 +1,162 @@
+package topk
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// Tie-breaking contract, table-driven. The crash-recovery suite
+// (internal/server) compares a recovered registry's top-k against a clean
+// recompute, and equal ego-betweenness values are common (small integers
+// over small cliques), so the comparison leans on exactly two guarantees
+// pinned down here:
+//
+//  1. Results() ordering is a pure function of the held (vertex, score)
+//     set: descending score, ties by ascending vertex id — independent of
+//     insertion order.
+//  2. Under capacity pressure an incoming score equal to the current
+//     minimum never evicts (the incumbent stays), so every vertex scoring
+//     strictly above the k-th score is always in the set; vertices tied at
+//     the boundary are interchangeable between equally valid top-k sets.
+
+func TestResultsOrderingDeterministic(t *testing.T) {
+	cases := []struct {
+		name  string
+		items []Item
+		want  []Item
+	}{
+		{
+			name:  "distinct scores",
+			items: []Item{{V: 4, Score: 1}, {V: 2, Score: 3}, {V: 9, Score: 2}},
+			want:  []Item{{V: 2, Score: 3}, {V: 9, Score: 2}, {V: 4, Score: 1}},
+		},
+		{
+			name:  "full tie orders by ascending id",
+			items: []Item{{V: 9, Score: 5}, {V: 1, Score: 5}, {V: 4, Score: 5}},
+			want:  []Item{{V: 1, Score: 5}, {V: 4, Score: 5}, {V: 9, Score: 5}},
+		},
+		{
+			name:  "tie group inside distinct scores",
+			items: []Item{{V: 7, Score: 2}, {V: 3, Score: 4}, {V: 5, Score: 2}, {V: 0, Score: 2}, {V: 8, Score: 6}},
+			want:  []Item{{V: 8, Score: 6}, {V: 3, Score: 4}, {V: 0, Score: 2}, {V: 5, Score: 2}, {V: 7, Score: 2}},
+		},
+		{
+			name:  "zero scores",
+			items: []Item{{V: 2, Score: 0}, {V: 1, Score: 0}},
+			want:  []Item{{V: 1, Score: 0}, {V: 2, Score: 0}},
+		},
+	}
+	rng := rand.New(rand.NewPCG(11, 13))
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Every insertion order must produce the same Results().
+			for trial := 0; trial < 10; trial++ {
+				perm := rng.Perm(len(tc.items))
+				b := NewBounded(len(tc.items))
+				for _, i := range perm {
+					b.Add(tc.items[i].V, tc.items[i].Score)
+				}
+				if got := b.Results(); !reflect.DeepEqual(got, tc.want) {
+					t.Fatalf("order %v: Results() = %v, want %v", perm, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestBoundedTieEvictionPolicy(t *testing.T) {
+	cases := []struct {
+		name    string
+		k       int
+		stream  []Item
+		want    []Item // expected Results()
+		wantMin float64
+	}{
+		{
+			name:    "equal score never evicts",
+			k:       2,
+			stream:  []Item{{V: 1, Score: 5}, {V: 2, Score: 5}, {V: 3, Score: 5}, {V: 4, Score: 5}},
+			want:    []Item{{V: 1, Score: 5}, {V: 2, Score: 5}}, // first two stay
+			wantMin: 5,
+		},
+		{
+			// Among tied minima the heap order puts the smallest id at the
+			// root, so that is the one a strictly higher score evicts.
+			name:    "strictly higher evicts the smallest-id tied minimum",
+			k:       2,
+			stream:  []Item{{V: 1, Score: 5}, {V: 2, Score: 5}, {V: 3, Score: 6}},
+			want:    []Item{{V: 3, Score: 6}, {V: 2, Score: 5}},
+			wantMin: 5,
+		},
+		{
+			name: "boundary tie keeps earlier arrival after churn",
+			k:    3,
+			stream: []Item{
+				{V: 10, Score: 1}, {V: 11, Score: 9}, {V: 12, Score: 1},
+				{V: 13, Score: 9}, {V: 14, Score: 1}, // tied with min 1: no eviction
+				{V: 15, Score: 2}, // evicts one of the score-1 incumbents
+			},
+			want:    []Item{{V: 11, Score: 9}, {V: 13, Score: 9}, {V: 15, Score: 2}},
+			wantMin: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBounded(tc.k)
+			for _, it := range tc.stream {
+				b.Add(it.V, it.Score)
+			}
+			if got := b.Results(); !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("Results() = %v, want %v", got, tc.want)
+			}
+			if min, ok := b.Min(); !ok || min != tc.wantMin {
+				t.Fatalf("Min() = %v,%v, want %v", min, ok, tc.wantMin)
+			}
+		})
+	}
+}
+
+// TestBoundedValidTopKUnderTies is the randomized statement of the property
+// the recovery assertions rely on: whatever the insertion order, the
+// resulting set contains every vertex scoring strictly above the k-th
+// score, and its score multiset equals the sorted top-k of the input.
+func TestBoundedValidTopKUnderTies(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 42))
+	for trial := 0; trial < 100; trial++ {
+		n := 5 + rng.IntN(60)
+		k := 1 + rng.IntN(12)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = float64(rng.IntN(6)) // dense ties
+		}
+		b := NewBounded(k)
+		for _, i := range rng.Perm(n) {
+			b.Add(int32(i), scores[i])
+		}
+		got := b.Results()
+
+		sorted := append([]float64(nil), scores...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		kk := min(k, n)
+		if len(got) != kk {
+			t.Fatalf("n=%d k=%d: %d results", n, k, len(got))
+		}
+		for i := 0; i < kk; i++ {
+			if got[i].Score != sorted[i] {
+				t.Fatalf("n=%d k=%d rank %d: score %v, want %v", n, k, i, got[i].Score, sorted[i])
+			}
+		}
+		boundary := sorted[kk-1]
+		inSet := map[int32]bool{}
+		for _, r := range got {
+			inSet[r.V] = true
+		}
+		for v, s := range scores {
+			if s > boundary && !inSet[int32(v)] {
+				t.Fatalf("n=%d k=%d: vertex %d (score %v > boundary %v) missing from %v", n, k, v, s, boundary, got)
+			}
+		}
+	}
+}
