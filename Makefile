@@ -11,12 +11,13 @@ test: vet
 	$(GO) test -race ./...
 
 # Bench-regression harness: machine-readable ns/op for the hot paths
-# (ComputeAll, OptBSearch, Maintainer.InsertEdge, snapshot build, and the
+# (ComputeAll, OptBSearch, Maintainer.InsertEdge, snapshot build, the
 # PR 3 persistence costs: snapshot codec, fsync'd WAL append, checkpoint,
-# recovery), written to BENCH_PR3.json so the perf trajectory is tracked
-# across PRs.
+# recovery — and the PR 4 write-throughput rows: durable-ack batches/sec
+# at 1/4/16 concurrent writers vs the serialized group-limit-1 baseline),
+# written to BENCH_PR4.json so the perf trajectory is tracked across PRs.
 bench: build
-	$(GO) run ./cmd/benchtab -prbench BENCH_PR3.json
+	$(GO) run ./cmd/benchtab -prbench BENCH_PR4.json
 
 # Regenerate the paper's tables and figures (quick grids; -full for the
 # paper's grids). See EXPERIMENTS.md.

@@ -13,6 +13,9 @@
 //	egobwd -data-dir /var/lib/egobwd  # durable graphs: WAL + snapshots,
 //	                                  # recovered on restart
 //	egobwd -data-dir d -checkpoint-every 64 -checkpoint-bytes 16777216
+//	egobwd -write-queue 256 -flush-interval 2ms
+//	                                  # write pipeline: admission-queue
+//	                                  # capacity and group-commit window
 //
 // Walkthrough (see README.md for the full API):
 //
@@ -50,6 +53,8 @@ type config struct {
 	dataDir      string
 	ckptEvery    int
 	ckptBytes    int64
+	writeQueue   int
+	flushEvery   time.Duration
 }
 
 func main() {
@@ -62,6 +67,8 @@ func main() {
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "directory for durable graphs (per-graph WAL + binary CSR snapshots); graphs recover on restart. Empty = in-memory only")
 	flag.IntVar(&cfg.ckptEvery, "checkpoint-every", 0, "fold the WAL into a fresh snapshot after this many update batches (0 = default 16)")
 	flag.Int64Var(&cfg.ckptBytes, "checkpoint-bytes", 0, "also checkpoint once a graph's WAL exceeds this many bytes (0 = default 4 MiB)")
+	flag.IntVar(&cfg.writeQueue, "write-queue", 0, "per-graph write admission-queue capacity; a full queue answers 429 (0 = default 128)")
+	flag.DurationVar(&cfg.flushEvery, "flush-interval", 0, "group-commit coalescing window: how long the writer waits for more batches after the first arrives (0 = commit whatever is queued immediately)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -74,7 +81,11 @@ func main() {
 // the data directory, dataset preloads. Split from run so tests can exercise
 // the boot path without serving.
 func setup(cfg config) (*server.Server, error) {
-	regOpts := []server.RegistryOption{server.WithBuildWorkers(cfg.buildWorkers)}
+	regOpts := []server.RegistryOption{
+		server.WithBuildWorkers(cfg.buildWorkers),
+		server.WithWriteQueue(cfg.writeQueue),
+		server.WithFlushInterval(cfg.flushEvery),
+	}
 	if cfg.dataDir != "" {
 		regOpts = append(regOpts,
 			server.WithDataDir(cfg.dataDir),

@@ -46,9 +46,22 @@ type PRBenchEntry struct {
 	StoreWALAppendNs      int64 `json:"store_wal_append_sync_ns_op"`
 	StoreCheckpointNs     int64 `json:"store_checkpoint_ns"`
 	StoreRecoverNs        int64 `json:"store_recover_ns"`
+
+	// Write throughput (PR 4, the group-commit pipeline): durable-ack
+	// batches/sec through a durable serving registry. The serialized row
+	// (group limit 1) is the pre-pipeline baseline — one fsync and one
+	// snapshot export per batch — under 16 concurrent writers; the
+	// pipelined rows let the writer goroutine coalesce. The speedup is
+	// pipelined-16w over serialized-16w on the same machine.
+	WriteSerialized16WBps float64 `json:"write_serialized_16w_batches_per_sec"`
+	WritePipelined1WBps   float64 `json:"write_pipelined_1w_batches_per_sec"`
+	WritePipelined4WBps   float64 `json:"write_pipelined_4w_batches_per_sec"`
+	WritePipelined16WBps  float64 `json:"write_pipelined_16w_batches_per_sec"`
+	WriteSpeedup16W       float64 `json:"write_throughput_speedup_16w"`
+	WriteGroupMean16W     float64 `json:"write_group_mean_16w"`
 }
 
-// PRBench is the BENCH_PR2.json document.
+// PRBench is the bench-regression document (currently BENCH_PR4.json).
 type PRBench struct {
 	GeneratedAt string         `json:"generated_at"`
 	GOMAXPROCS  int            `json:"gomaxprocs"`
@@ -123,6 +136,7 @@ func RunPRBench(names []string) PRBench {
 		e.BuildBalanceBound4W = bound.SpeedupBound(4)
 
 		measureStore(&e, g, edges)
+		measureWrites(&e, g)
 
 		doc.Datasets = append(doc.Datasets, e)
 	}

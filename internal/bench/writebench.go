@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+// Write-throughput measurement (PR 4): how many durable-ack edge batches
+// per second the serving registry sustains, as a function of writer
+// concurrency. The serialized baseline (group limit 1) is the pre-pipeline
+// write path — every batch pays its own WAL fsync and its own O(n+m)
+// snapshot export; the pipelined rows let the per-graph writer goroutine
+// group-commit whatever the concurrent writers have queued, amortizing
+// both costs across the group.
+
+// writeBenchBatches is the total batch count per configuration; each batch
+// inserts writeBenchEdges fresh edges (each batch attaches a brand-new
+// vertex, so no insert ever collides with an existing edge).
+const (
+	writeBenchBatches = 192
+	writeBenchEdges   = 4
+)
+
+// writeBatch builds the j-th benchmark batch against a base graph of n
+// vertices: writeBenchEdges edges attaching new vertex n+j to existing
+// vertices. Deterministic, disjoint across batches, always applied.
+func writeBatch(n int32, j int) [][2]int32 {
+	edges := make([][2]int32, writeBenchEdges)
+	for i := range edges {
+		edges[i] = [2]int32{(int32(j) + int32(i)*7919) % n, n + int32(j)}
+	}
+	return edges
+}
+
+// runWriteConfig streams writeBenchBatches durable batches through a fresh
+// durable registry using the given writer concurrency, returning batches
+// per second and the mean group-commit size the pipeline achieved.
+func runWriteConfig(g *graph.Graph, dir string, writers, groupLimit int) (bps, groupMean float64) {
+	opts := []server.RegistryOption{
+		server.WithDataDir(dir),
+		server.WithBuildWorkers(1),
+		// Keep checkpoints out of the measurement: the bench isolates the
+		// per-batch costs (fsync + snapshot export), not the fold policy.
+		server.WithCheckpointPolicy(1<<20, 1<<40),
+	}
+	if groupLimit > 0 {
+		opts = append(opts, server.WithGroupLimit(groupLimit))
+	}
+	reg := server.NewRegistry(opts...)
+	defer reg.Close()
+	if _, err := reg.Add("w", g, server.ModeLocal, 0); err != nil {
+		panic(err)
+	}
+	n := g.NumVertices()
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= writeBenchBatches {
+					return
+				}
+				res, err := reg.ApplyEdges("w", writeBatch(n, j), true)
+				if err != nil {
+					panic(err)
+				}
+				if res.Applied != writeBenchEdges {
+					panic(fmt.Sprintf("bench: batch %d applied %d/%d edges", j, res.Applied, writeBenchEdges))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	info, err := reg.Info("w")
+	if err != nil {
+		panic(err)
+	}
+	bps = float64(writeBenchBatches) / elapsed.Seconds()
+	if info.GroupCommits > 0 {
+		groupMean = float64(info.CoalescedBatches) / float64(info.GroupCommits)
+	}
+	return bps, groupMean
+}
+
+// measureWrites fills the write-throughput rows of one dataset entry.
+func measureWrites(e *PRBenchEntry, g *graph.Graph) {
+	dir, err := os.MkdirTemp("", "egobw-prbench-write-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sub := func(name string) string { return dir + "/" + name }
+	e.WriteSerialized16WBps, _ = runWriteConfig(g, sub("ser16"), 16, 1)
+	e.WritePipelined1WBps, _ = runWriteConfig(g, sub("pipe1"), 1, 0)
+	e.WritePipelined4WBps, _ = runWriteConfig(g, sub("pipe4"), 4, 0)
+	e.WritePipelined16WBps, e.WriteGroupMean16W = runWriteConfig(g, sub("pipe16"), 16, 0)
+	if e.WriteSerialized16WBps > 0 {
+		e.WriteSpeedup16W = e.WritePipelined16WBps / e.WriteSerialized16WBps
+	}
+}

@@ -78,16 +78,16 @@ func (e *entry) mirrorPersist() {
 }
 
 // maybeCheckpoint folds the WAL into a fresh snapshot once the policy says
-// so: every ckptBatches update batches or once the WAL passes ckptBytes. It
-// encodes the graph of the current published snapshot — which reflects every
-// durable batch — so the checkpoint costs one file write, not a CSR export.
-// Callers hold e.mu.
-func (e *entry) maybeCheckpoint(ckptBatches int, ckptBytes int64) error {
+// so: every ckptBatches update batches (a group commit counts each batch it
+// carried) or once the WAL passes ckptBytes. It encodes the graph of the
+// current published snapshot — which reflects every durable batch — so the
+// checkpoint costs one file write, not a CSR export. Callers hold e.mu.
+func (e *entry) maybeCheckpoint(ckptBatches int, ckptBytes int64, batches int) error {
 	if e.st == nil {
 		return nil
 	}
 	defer e.mirrorPersist()
-	e.sinceCkpt++
+	e.sinceCkpt += batches
 	if e.sinceCkpt < ckptBatches && e.st.WALBytes() < ckptBytes {
 		return nil
 	}
@@ -98,16 +98,26 @@ func (e *entry) maybeCheckpoint(ckptBatches int, ckptBytes int64) error {
 	return nil
 }
 
-// Close releases every graph's durable store — WAL handles and the
-// per-directory locks that exclude a second opener. The registry must not
-// serve afterwards. Clean daemon shutdown calls it; so do tests and
-// examples that reopen a data dir in-process, where it stands in for the
-// lock release a real process death performs automatically.
+// Close shuts every graph's write pipeline — the admission queues stop
+// accepting, the writer goroutines drain what was admitted and exit — and
+// then releases every durable store: WAL handles and the per-directory
+// locks that exclude a second opener. The registry must not serve
+// afterwards. Clean daemon shutdown calls it; so do tests and examples that
+// reopen a data dir in-process, where it stands in for the lock release a
+// real process death performs automatically.
 func (r *Registry) Close() error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	var first error
+	entries := make([]*entry, 0, len(r.entries))
 	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	for _, e := range entries {
+		e.closeWrites()
+		<-e.stopped
+	}
+	var first error
+	for _, e := range entries {
 		e.mu.Lock()
 		if e.st != nil {
 			if err := e.st.Close(); err != nil && first == nil {
@@ -167,7 +177,8 @@ func (r *Registry) recoverOne(name string) (GraphInfo, error) {
 		return GraphInfo{}, err
 	}
 
-	e := &entry{name: name, mode: mode, workers: r.workers, st: st}
+	e := r.newEntry(name, mode)
+	e.st = st
 	t0 := time.Now()
 	if mode == ModeLocal {
 		e.local = dynamic.NewMaintainerParallel(rec.Graph, e.workers)
@@ -196,5 +207,6 @@ func (r *Registry) recoverOne(name string) (GraphInfo, error) {
 		return GraphInfo{}, fmt.Errorf("graph already registered: %w", ErrDuplicate)
 	}
 	r.entries[name] = e
+	go e.writerLoop(r)
 	return e.info(), nil
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/ego"
 	"repro/internal/gen"
@@ -302,6 +303,98 @@ func TestRecoveryCrashPoints(t *testing.T) {
 					upto++
 				}
 				assertRecovered(t, reborn, "g", mode, stateAfter(base, script, upto))
+			})
+		}
+	}
+}
+
+// TestRecoveryGroupCommitCrash kills the write pipeline inside the
+// group-commit window — between enqueue and the group WAL append, during
+// the append (records written, fsync pending), and between the append and
+// the apply / the snapshot publication — while a coalesced multi-batch
+// group is in flight. The invariant: whatever prefix of the admitted
+// stream the recovered WAL reports durable, the reopened registry serves
+// exactly the top-k of a from-scratch recompute of that prefix.
+func TestRecoveryGroupCommitCrash(t *testing.T) {
+	points := []string{
+		store.CrashBeforeWALAppend, // enqueue happened, group append did not: group lost
+		store.CrashAfterGroupWrite, // records written, fsync pending: a kill keeps them
+		store.CrashAfterWALAppend,  // group durable, never applied
+		crashBeforeApply,           // same durability, server-level stage
+		crashBeforePublish,         // applied in memory, snapshot never published
+	}
+	errBoom := errors.New("injected crash")
+	const (
+		preBatches   = 4 // committed cleanly before arming
+		burstBatches = 3 // admitted async, coalesced by the flush window
+	)
+	for _, mode := range []string{ModeLocal, ModeLazy} {
+		for _, point := range points {
+			t.Run(mode+"/"+point, func(t *testing.T) {
+				rng := rand.New(rand.NewPCG(41, 0xE60B))
+				base := gen.BarabasiAlbert(60, 3, 41)
+				script := makeScript(rng, graph.DynFromGraph(base), preBatches+burstBatches+1)
+				dir := t.TempDir()
+
+				armed := false
+				victim := durableRegistry(dir,
+					WithFlushInterval(150*time.Millisecond),
+					WithCrashHook(func(g, p string) error {
+						if armed && p == point {
+							return errBoom
+						}
+						return nil
+					}))
+				if _, err := victim.Add("g", base, mode, 10); err != nil {
+					t.Fatal(err)
+				}
+				for _, sb := range script[:preBatches] {
+					if _, err := victim.ApplyEdges("g", sb.edges, sb.insert); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Arm, then admit the burst async (the writer's flush window
+				// coalesces it into one group) and the next script batch
+				// durable: its ack is the fence that proves the crash fired.
+				armed = true
+				for _, sb := range script[preBatches : preBatches+burstBatches] {
+					if _, err := victim.ApplyEdgesAck("g", sb.edges, sb.insert, AckAsync); err != nil {
+						t.Fatal(err)
+					}
+				}
+				probe := script[preBatches+burstBatches]
+				if _, err := victim.ApplyEdges("g", probe.edges, probe.insert); !errors.Is(err, ErrStorage) {
+					t.Fatalf("probe after armed crash: err = %v, want ErrStorage", err)
+				}
+				// The pipeline is poisoned: further writes must keep failing
+				// rather than diverge from the durable history.
+				if _, err := victim.ApplyEdges("g", probe.edges, probe.insert); !errors.Is(err, ErrStorage) {
+					t.Fatalf("second write after crash: err = %v, want ErrStorage", err)
+				}
+				victim.Close() // lock release only; files are as the crash left them
+
+				reborn := durableRegistry(dir)
+				infos, err := reborn.Recover()
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer reborn.Close()
+				if len(infos) != 1 {
+					t.Fatalf("recovered %d graphs, want 1", len(infos))
+				}
+				// The WAL is the oracle: its last durable sequence names the
+				// admitted prefix that survived (admission order is the
+				// script order — one enqueueing goroutine). The crash point
+				// bounds it: at least the pre-batches, at most everything
+				// admitted.
+				durable := int(infos[0].WALSeq)
+				if durable < preBatches || durable > preBatches+burstBatches+1 {
+					t.Fatalf("recovered wal_seq %d outside [%d, %d]", durable, preBatches, preBatches+burstBatches+1)
+				}
+				if point == store.CrashBeforeWALAppend && durable != preBatches {
+					t.Fatalf("wal_seq %d after %s, want %d (group never written)", durable, point, preBatches)
+				}
+				assertRecovered(t, reborn, "g", mode, stateAfter(base, script, durable))
 			})
 		}
 	}

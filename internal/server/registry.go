@@ -37,6 +37,10 @@ const (
 	AlgoBase   = "base"   // BaseBSearch on the snapshot CSR
 )
 
+// defaultTheta is the OptBSearch pruning parameter used when a query leaves
+// θ unset (0). Any explicit θ < 1 is rejected instead of defaulted.
+const defaultTheta = 1.05
+
 // snapshot is the immutable unit of the epoch scheme. Readers obtain the
 // current snapshot with one atomic pointer load and then work entirely on
 // data that no writer will ever mutate: the CSR graph, the frozen score
@@ -67,13 +71,19 @@ type snapshot struct {
 // results forever. Past the cap queries still compute, just uncached.
 const maxCacheEntries = 256
 
-// cacheStore inserts res under key unless the cache is at capacity.
+// cacheStore inserts res under key unless the cache is at capacity. The
+// accounting reserves a slot first (Add) and rolls it back on either
+// outcome that did not store a new entry — capacity exceeded, or another
+// goroutine already holds the key — so concurrent misses can never push
+// the cache past maxCacheEntries (a plain load-then-add check-then-act
+// would let every goroutine at cap−1 pass the check at once).
 func (s *snapshot) cacheStore(key cacheKey, res []ego.Result) {
-	if s.cacheCount.Load() >= maxCacheEntries {
+	if s.cacheCount.Add(1) > maxCacheEntries {
+		s.cacheCount.Add(-1)
 		return
 	}
-	if _, loaded := s.cache.LoadOrStore(key, res); !loaded {
-		s.cacheCount.Add(1)
+	if _, loaded := s.cache.LoadOrStore(key, res); loaded {
+		s.cacheCount.Add(-1)
 	}
 }
 
@@ -92,8 +102,54 @@ func (s *snapshot) Stats() graph.Stats {
 	return s.stats
 }
 
-// entry is one served graph: the atomically swappable snapshot for readers
-// plus the mutable maintainer state for the (serialized) writer side.
+// Acknowledgment modes for edge-update batches (DESIGN.md §9).
+const (
+	// AckDurable responds after the batch's group commit: the batch is in
+	// the fsync'd WAL (on a durable registry) and the snapshot including it
+	// is published. The default.
+	AckDurable = "durable"
+	// AckAsync responds on admission: the batch is queued for the writer
+	// goroutine, its epoch pending. A crash between the ack and the group
+	// commit loses the batch — the mode trades the durability guarantee for
+	// enqueue-speed responses.
+	AckAsync = "async"
+)
+
+// ErrBacklog marks an update rejected because the graph's admission queue
+// is full — backpressure, not failure. The HTTP layer answers 429 with a
+// Retry-After so well-behaved clients pace themselves.
+var ErrBacklog = fmt.Errorf("write queue full")
+
+// writeReq is one admitted edge batch waiting for the writer goroutine.
+// done is nil for AckAsync (nobody listens); for AckDurable it carries the
+// commit outcome and is buffered so the writer never blocks replying.
+type writeReq struct {
+	edges  [][2]int32
+	insert bool
+	done   chan writeReply
+
+	// res is filled by the writer inside the commit; carried here so the
+	// group can be applied first and replied to as a whole afterwards.
+	res UpdateResult
+}
+
+type writeReply struct {
+	res UpdateResult
+	err error
+}
+
+// reply delivers the outcome to a durable waiter; async requests drop it.
+func (w *writeReq) reply(res UpdateResult, err error) {
+	if w.done != nil {
+		w.done <- writeReply{res: res, err: err}
+	}
+}
+
+// entry is one served graph: the atomically swappable snapshot for readers,
+// the mutable maintainer state for the writer side, and the write pipeline —
+// a bounded admission queue drained by a dedicated writer goroutine that
+// group-commits everything waiting (one WAL fsync, one snapshot publication
+// per drain; DESIGN.md §9).
 type entry struct {
 	name    string
 	mode    string
@@ -101,11 +157,37 @@ type entry struct {
 
 	snap atomic.Pointer[snapshot]
 
+	// The admission queue. qmu guards qclosed against concurrent enqueues
+	// (senders hold it shared, the closer exclusively — a channel must not
+	// be closed under racing sends); stopped is closed when the writer
+	// goroutine has drained the closed queue and exited.
+	queue    chan *writeReq
+	qmu      sync.RWMutex
+	qclosed  bool
+	stopped  chan struct{}
+	flush    time.Duration // coalescing window after the first arrival
+	maxGroup int           // largest group one drain may commit
+
 	// mu serializes all mutation of the maintainer state below and every
 	// snapshot publication. Readers never take it.
 	mu    sync.Mutex
 	local *dynamic.Maintainer // ModeLocal
 	lazy  *dynamic.LazyTopK   // ModeLazy
+
+	// removed marks an entry whose Remove completed: the durable store is
+	// gone, and any straggler that looked the entry up before the removal
+	// must fail instead of touching (and resurrecting) the deleted state.
+	// Guarded by mu.
+	removed bool
+	// failed poisons the pipeline after any durability failure — a WAL
+	// append or checkpoint error (which poisons the store too) or an
+	// injected server-level crash: once a commit aborted mid-flight,
+	// in-memory and durable state may disagree, so further commits must
+	// fail rather than diverge. Admission checks it so an ack=async
+	// caller is rejected up front (ErrStorage) instead of being answered
+	// 202 for a batch the dead pipeline would silently drop. Written only
+	// by the writer goroutine, loaded lock-free by enqueuers.
+	failed atomic.Pointer[error]
 
 	// st is the graph's durable store (nil without WithDataDir). Set once
 	// before the entry is published, used only under mu; sinceCkpt counts
@@ -118,6 +200,13 @@ type entry struct {
 	cacheMisses atomic.Int64
 	inserts     atomic.Int64
 	deletes     atomic.Int64
+
+	// Write-pipeline accounting: drains committed, batches carried by them
+	// (coalescedBatches/groupCommits is the amortization factor), and
+	// admissions rejected by backpressure.
+	groupCommits     atomic.Int64
+	coalescedBatches atomic.Int64
+	writeRejects     atomic.Int64
 
 	// Lock-free mirrors of the store's accounting, refreshed after every
 	// durable operation so GraphInfo never has to take mu.
@@ -150,12 +239,21 @@ const (
 	defaultCheckpointBytes   = 4 << 20
 )
 
+// Default write-pipeline tuning: admission-queue capacity (also the group
+// size cap unless WithGroupLimit lowers it) and the coalescing window.
+const defaultWriteQueue = 128
+
 // Registry is a named collection of served graphs. Lookup is guarded by a
 // read-write mutex; everything per-graph uses the entry's own scheme.
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
 	workers int // snapshot-build worker budget applied to new graphs
+
+	// Write pipeline (DESIGN.md §9).
+	queueCap int
+	flush    time.Duration
+	maxGroup int
 
 	// Persistence (DESIGN.md §8). Empty dataDir means in-memory only.
 	dataDir     string
@@ -197,6 +295,43 @@ func WithCheckpointPolicy(batches int, bytes int64) RegistryOption {
 	}
 }
 
+// WithWriteQueue sets the per-graph admission-queue capacity: how many
+// update batches may wait for the writer goroutine before new admissions
+// are rejected with ErrBacklog (HTTP 429). n ≤ 0 keeps the default (128).
+func WithWriteQueue(n int) RegistryOption {
+	return func(r *Registry) {
+		if n > 0 {
+			r.queueCap = n
+		}
+	}
+}
+
+// WithFlushInterval sets the group-commit coalescing window: after the
+// first batch of a drain arrives, the writer waits up to d for more
+// batches before committing the group. Zero (the default) commits whatever
+// is already queued without waiting — lowest latency, with coalescing
+// arising naturally under concurrent load; a positive window trades
+// latency for larger groups on trickle workloads.
+func WithFlushInterval(d time.Duration) RegistryOption {
+	return func(r *Registry) {
+		if d > 0 {
+			r.flush = d
+		}
+	}
+}
+
+// WithGroupLimit caps how many batches one drain may fold into a single
+// group commit. n ≤ 0 keeps the default (the queue capacity). Limit 1
+// degenerates to the serialized one-batch-one-fsync-one-snapshot pipeline —
+// the baseline the write-throughput benchmark compares against.
+func WithGroupLimit(n int) RegistryOption {
+	return func(r *Registry) {
+		if n > 0 {
+			r.maxGroup = n
+		}
+	}
+}
+
 // WithCrashHook installs a crash-injection hook on every graph store,
 // invoked at each durability point with the graph name; a non-nil return
 // aborts the operation exactly there, leaving the files as a real crash
@@ -219,7 +354,25 @@ func NewRegistry(opts ...RegistryOption) *Registry {
 	if r.workers <= 0 {
 		r.workers = runtime.GOMAXPROCS(0)
 	}
+	if r.queueCap <= 0 {
+		r.queueCap = defaultWriteQueue
+	}
+	if r.maxGroup <= 0 || r.maxGroup > r.queueCap {
+		r.maxGroup = r.queueCap
+	}
 	return r
+}
+
+// newEntry builds an unpublished entry with its write pipeline initialized
+// (the writer goroutine starts separately, once the entry is registered).
+func (r *Registry) newEntry(name, mode string) *entry {
+	return &entry{
+		name: name, mode: mode, workers: r.workers,
+		queue:    make(chan *writeReq, r.queueCap),
+		stopped:  make(chan struct{}),
+		flush:    r.flush,
+		maxGroup: r.maxGroup,
+	}
 }
 
 // get returns the entry for name.
@@ -275,7 +428,7 @@ func (r *Registry) Add(name string, g *graph.Graph, mode string, lazyK int) (Gra
 		return GraphInfo{}, fmt.Errorf("server: graph %q: %w", name, ErrDuplicate)
 	}
 
-	e := &entry{name: name, mode: mode, workers: r.workers}
+	e := r.newEntry(name, mode)
 	first := &snapshot{epoch: 1, g: g, buildWorkers: e.workers}
 	t0 := time.Now()
 	if mode == ModeLocal {
@@ -308,10 +461,20 @@ func (r *Registry) Add(name string, g *graph.Graph, mode string, lazyK int) (Gra
 		e.mirrorPersist()
 	}
 	r.entries[name] = e
+	go e.writerLoop(r)
 	return e.info(), nil
 }
 
 // Remove drops the named graph, deleting its durable store (if any) with it.
+//
+// Ordering is the use-after-Remove fix: first unregister the name (new
+// lookups fail), then close the admission queue and wait for the writer
+// goroutine to drain and acknowledge every batch admitted before the close,
+// and only then mark the entry removed and delete the store. A straggler
+// that looked the entry up before the removal finds the queue closed (a
+// writer) or the removed flag set (a lazy reader) and fails with not-found —
+// it can no longer append to or checkpoint into the deleted directory,
+// resurrecting it on disk.
 func (r *Registry) Remove(name string) error {
 	r.mu.Lock()
 	e, ok := r.entries[name]
@@ -321,14 +484,52 @@ func (r *Registry) Remove(name string) error {
 	}
 	delete(r.entries, name)
 	r.mu.Unlock()
+
+	e.closeWrites()
+	<-e.stopped
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.removed = true
 	if e.st != nil {
-		e.mu.Lock()
-		defer e.mu.Unlock()
 		if err := e.st.Remove(); err != nil {
 			return fmt.Errorf("server: graph %q: remove store: %w", name, err)
 		}
 	}
 	return nil
+}
+
+// closeWrites shuts the admission queue: no new batch gets in, and the
+// writer goroutine drains what was already admitted, then exits (closing
+// e.stopped). Idempotent.
+func (e *entry) closeWrites() {
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	if !e.qclosed {
+		e.qclosed = true
+		close(e.queue)
+	}
+}
+
+// enqueue admits one batch into the write pipeline, failing fast when the
+// graph is gone (not-found) or the queue is full (ErrBacklog). The shared
+// qmu hold makes the closed-check-then-send atomic against closeWrites.
+func (e *entry) enqueue(req *writeReq) error {
+	e.qmu.RLock()
+	defer e.qmu.RUnlock()
+	if e.qclosed {
+		return fmt.Errorf("server: no graph named %q", e.name)
+	}
+	if perr := e.failed.Load(); perr != nil {
+		return fmt.Errorf("server: graph %q: %w: pipeline poisoned by earlier failure: %w", e.name, ErrStorage, *perr)
+	}
+	select {
+	case e.queue <- req:
+		return nil
+	default:
+		e.writeRejects.Add(1)
+		return fmt.Errorf("server: graph %q: %w (capacity %d)", e.name, ErrBacklog, cap(e.queue))
+	}
 }
 
 // GraphInfo summarizes one served graph. SnapshotBuildMS is how long the
@@ -344,6 +545,17 @@ type GraphInfo struct {
 	LazyK           int     `json:"lazy_k,omitempty"`
 	BuildWorkers    int     `json:"build_workers"`
 	SnapshotBuildMS float64 `json:"snapshot_build_ms"`
+
+	// Write-pipeline accounting (DESIGN.md §9): the admission queue's
+	// capacity and current depth, how many group commits the writer
+	// goroutine has published, how many batches those groups carried
+	// (coalesced/commits is the fsync+snapshot amortization factor), and
+	// how many admissions backpressure rejected.
+	WriteQueueCap    int   `json:"write_queue_cap"`
+	WriteQueueDepth  int   `json:"write_queue_depth"`
+	GroupCommits     int64 `json:"group_commits"`
+	CoalescedBatches int64 `json:"coalesced_batches"`
+	WriteRejects     int64 `json:"write_rejects,omitempty"`
 
 	// Persistence accounting (WithDataDir only): the last durable WAL batch
 	// sequence, the current WAL size, the sequence folded into the on-disk
@@ -366,8 +578,13 @@ func (e *entry) infoAt(s *snapshot) GraphInfo {
 	gi := GraphInfo{
 		Name: e.name, Mode: e.mode, Epoch: s.epoch,
 		N: s.g.NumVertices(), M: s.g.NumEdges(),
-		BuildWorkers:    s.buildWorkers,
-		SnapshotBuildMS: float64(s.buildDur.Microseconds()) / 1000,
+		BuildWorkers:     s.buildWorkers,
+		SnapshotBuildMS:  float64(s.buildDur.Microseconds()) / 1000,
+		WriteQueueCap:    cap(e.queue),
+		WriteQueueDepth:  len(e.queue),
+		GroupCommits:     e.groupCommits.Load(),
+		CoalescedBatches: e.coalescedBatches.Load(),
+		WriteRejects:     e.writeRejects.Load(),
 	}
 	if e.lazy != nil {
 		gi.LazyK = e.lazy.K()
@@ -479,8 +696,15 @@ func (r *Registry) TopK(name string, k int, algo string, theta float64) (TopKRes
 			algo = AlgoScores
 		}
 	}
-	if theta < 1 {
-		theta = 1.05
+	// θ: 0 (unset) selects the documented default; anything else below 1
+	// is invalid — OptBSearch's pruning needs θ ≥ 1 — and is rejected
+	// rather than silently rewritten, so a library caller asking for
+	// θ=0.5 learns about it exactly like an HTTP caller does.
+	switch {
+	case theta == 0:
+		theta = defaultTheta
+	case theta < 1 || math.IsNaN(theta):
+		return TopKResult{}, fmt.Errorf("server: theta must be ≥ 1 (got %v; 0 selects the default %v)", theta, defaultTheta)
 	}
 	key := cacheKey{k: k, algo: algo}
 	if algo == AlgoOpt {
@@ -515,6 +739,10 @@ func (r *Registry) TopK(name string, k int, algo string, theta float64) (TopKRes
 		// state: take the write lock. Inside it no swap can happen, so
 		// the snapshot reloaded here is the one the lazy set matches.
 		e.mu.Lock()
+		if e.removed {
+			e.mu.Unlock()
+			return TopKResult{}, fmt.Errorf("server: no graph named %q", name)
+		}
 		full := e.lazy.Results()
 		snap = e.snap.Load()
 		e.mu.Unlock()
@@ -547,9 +775,16 @@ type VertexResult struct {
 	Bound  float64 `json:"bound"` // Lemma 2 static upper bound d(d−1)/2
 }
 
+// egoScratch pools the recomputation scratch (center bitset register,
+// neighborhood buffer, local evidence map) of the lock-free ModeLazy
+// per-vertex read path, so the steady state allocates nothing per query.
+// The scratch grows to any graph's vertex count and is safe to share
+// across graphs; a sync.Pool keeps one per P under load.
+var egoScratch = sync.Pool{New: func() any { return ego.NewScratch(0) }}
+
 // EgoBetweenness answers a single-vertex query, lock-free on the current
 // snapshot: from the frozen score vector in ModeLocal, by direct O(local)
-// recomputation in ModeLazy.
+// recomputation (with pooled scratch) in ModeLazy.
 func (r *Registry) EgoBetweenness(name string, v int32) (VertexResult, error) {
 	e, err := r.get(name)
 	if err != nil {
@@ -563,7 +798,9 @@ func (r *Registry) EgoBetweenness(name string, v int32) (VertexResult, error) {
 	if snap.scores != nil {
 		cb = snap.scores[v]
 	} else {
-		cb = ego.EgoBetweenness(snap.g, v, nil)
+		s := egoScratch.Get().(*ego.Scratch)
+		cb = ego.EgoBetweenness(snap.g, v, s)
+		egoScratch.Put(s)
 	}
 	d := snap.g.Degree(v)
 	return VertexResult{Graph: e.name, Epoch: snap.epoch, V: v, CB: cb, Degree: d, Bound: ego.StaticUB(d)}, nil
@@ -578,24 +815,41 @@ type EdgeError struct {
 // UpdateResult is the edge-update endpoint payload.
 type UpdateResult struct {
 	Graph   string      `json:"graph"`
-	Epoch   uint64      `json:"epoch"` // epoch now serving
+	Epoch   uint64      `json:"epoch"` // epoch now serving (the floor at admission for async)
 	Applied int         `json:"applied"`
 	Errors  []EdgeError `json:"errors,omitempty"`
+	Ack     string      `json:"ack,omitempty"`
+	Pending bool        `json:"pending,omitempty"` // async: admitted, commit outstanding
 }
 
 // ApplyEdges applies a batch of edge insertions (insert=true) or deletions
-// to the named graph. The whole batch runs under the entry's write lock and
-// publishes exactly one new snapshot at the end — batching amortizes the
-// O(n+m) snapshot export over the batch. Edges that fail individually
-// (duplicate insert, missing delete, self-loop) are reported but do not
-// abort the rest of the batch.
-//
-// On a durable registry (WithDataDir) the batch is appended to the graph's
-// WAL before it is applied: an error from the append means nothing was
-// applied, while an error from the checkpoint that may follow the apply
-// means the batch itself is already durable and applied — the returned
-// UpdateResult is valid alongside such an error.
+// to the named graph with the default durable acknowledgment; see
+// ApplyEdgesAck.
 func (r *Registry) ApplyEdges(name string, edges [][2]int32, insert bool) (UpdateResult, error) {
+	return r.ApplyEdgesAck(name, edges, insert, AckDurable)
+}
+
+// ApplyEdgesAck admits a batch of edge insertions (insert=true) or
+// deletions into the named graph's write pipeline. The batch joins the
+// graph's admission queue; the dedicated writer goroutine drains everything
+// waiting into one group commit — one WAL fsync and one snapshot
+// publication for the whole group, which amortizes today's two dominant
+// per-batch write costs across every concurrently arriving batch. Edges
+// that fail individually (duplicate insert, missing delete, self-loop) are
+// reported in the result but do not abort the rest of the batch.
+//
+// ack selects when the call returns: AckDurable (or "") blocks until the
+// group commit that carried the batch finished — on a durable registry the
+// batch is then in the fsync'd WAL — while AckAsync returns at admission
+// with Pending set and the served epoch as a floor. A full queue fails
+// with ErrBacklog either way.
+//
+// On a durable registry an error wrapping ErrStorage from the group's WAL
+// append means nothing of the batch was applied; an error from the
+// checkpoint that may follow the apply means the batch itself is already
+// durable and applied — the returned UpdateResult is valid alongside such
+// an error.
+func (r *Registry) ApplyEdgesAck(name string, edges [][2]int32, insert bool, ack string) (UpdateResult, error) {
 	e, err := r.get(name)
 	if err != nil {
 		return UpdateResult{}, err
@@ -603,29 +857,198 @@ func (r *Registry) ApplyEdges(name string, edges [][2]int32, insert bool) (Updat
 	if len(edges) == 0 {
 		return UpdateResult{}, fmt.Errorf("server: empty edge batch")
 	}
+	if ack == "" {
+		ack = AckDurable
+	}
+	if ack != AckDurable && ack != AckAsync {
+		return UpdateResult{}, fmt.Errorf("server: unknown ack mode %q (want %q or %q)", ack, AckDurable, AckAsync)
+	}
+	req := &writeReq{edges: edges, insert: insert}
+	if ack == AckDurable {
+		req.done = make(chan writeReply, 1)
+	}
+	if err := e.enqueue(req); err != nil {
+		return UpdateResult{}, err
+	}
+	if ack == AckAsync {
+		return UpdateResult{
+			Graph: name, Epoch: e.snap.Load().epoch, Ack: AckAsync, Pending: true,
+		}, nil
+	}
+	rep := <-req.done
+	rep.res.Ack = AckDurable
+	return rep.res, rep.err
+}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.st != nil {
-		if _, err := e.st.AppendBatch(insert, edges); err != nil {
-			e.mirrorPersist()
-			return UpdateResult{}, fmt.Errorf("server: graph %q: %w: %w", name, ErrStorage, err)
+// writerLoop is the per-graph writer goroutine: it owns the drain side of
+// the admission queue for the entry's lifetime, group-committing everything
+// waiting, and exits once closeWrites both closed the queue and the loop
+// drained it.
+func (e *entry) writerLoop(r *Registry) {
+	defer close(e.stopped)
+	for req := range e.queue {
+		e.commitGroup(r, e.collectGroup(req))
+	}
+}
+
+// collectGroup gathers the batches of one group commit: the first request
+// plus everything already queued (and, with a positive flush interval,
+// everything arriving within the window), capped at maxGroup.
+//
+// With no flush window, the drain yields the scheduler once before
+// committing a short group: a sender that just enqueued is scheduled with
+// direct handoff (it readies this goroutine ahead of every other runnable
+// writer), so without the yield a saturated single-P process degenerates
+// into a one-producer ping-pong with groups of one while the remaining
+// writers starve. One Gosched moves this goroutine behind the runnable
+// writers, letting them land their batches first — bounded, timer-free
+// coalescing.
+func (e *entry) collectGroup(first *writeReq) []*writeReq {
+	group := []*writeReq{first}
+	if e.flush > 0 {
+		timer := time.NewTimer(e.flush)
+		defer timer.Stop()
+		for len(group) < e.maxGroup {
+			select {
+			case req, ok := <-e.queue:
+				if !ok {
+					return group
+				}
+				group = append(group, req)
+			case <-timer.C:
+				return group
+			}
+		}
+		return group
+	}
+	yielded := false
+	for len(group) < e.maxGroup {
+		select {
+		case req, ok := <-e.queue:
+			if !ok {
+				return group
+			}
+			group = append(group, req)
+		default:
+			if yielded {
+				return group
+			}
+			yielded = true
+			runtime.Gosched()
 		}
 	}
-	res := e.applyLocked(edges, insert)
+	return group
+}
 
+// Server-level crash points, between the store's durability points and the
+// in-memory stages of the group commit. The crash-recovery harness uses
+// them to kill the pipeline after the group WAL append but before the apply
+// or the snapshot publication — batches that are durable but were never
+// applied (or never served) must still be recovered.
+const (
+	crashBeforeApply   = "server-before-apply"
+	crashBeforePublish = "server-before-publish"
+)
+
+// serverCrash fires the registry-level crash hook at a pipeline point.
+func (r *Registry) serverCrash(name, point string) error {
+	if r.crashHook == nil {
+		return nil
+	}
+	return r.crashHook(name, point)
+}
+
+// commitGroup is one drain of the write pipeline: one WAL append covering
+// every batch in the group (one fsync), the deterministic per-batch apply
+// in admission order, one snapshot publication, one checkpoint-policy
+// check — then the acknowledgments.
+func (e *entry) commitGroup(r *Registry, group []*writeReq) {
+	e.mu.Lock()
+	if perr := e.failed.Load(); perr != nil {
+		err := fmt.Errorf("server: graph %q: %w: pipeline poisoned by earlier failure: %w", e.name, ErrStorage, *perr)
+		e.mu.Unlock()
+		for _, req := range group {
+			req.reply(UpdateResult{}, err)
+		}
+		return
+	}
+
+	// Group WAL append: per-batch records, one fsync. An error here means
+	// nothing of the group was applied — and the store has poisoned
+	// itself, so poison the pipeline too: admissions (notably ack=async
+	// ones, which would otherwise be answered 202 and then silently
+	// dropped) must start failing up front.
+	if e.st != nil {
+		specs := make([]store.BatchSpec, len(group))
+		for i, req := range group {
+			specs[i] = store.BatchSpec{Insert: req.insert, Edges: req.edges}
+		}
+		if _, err := e.st.AppendBatches(specs); err != nil {
+			e.failed.Store(&err)
+			e.mirrorPersist()
+			e.mu.Unlock()
+			err = fmt.Errorf("server: graph %q: %w: %w", e.name, ErrStorage, err)
+			for _, req := range group {
+				req.reply(UpdateResult{}, err)
+			}
+			return
+		}
+	}
+	if err := r.serverCrash(e.name, crashBeforeApply); err != nil {
+		e.abortGroup(group, err)
+		return
+	}
+
+	// Apply each batch through the maintainer, in admission order — the
+	// same deterministic path WAL replay takes on recovery.
+	applied := 0
+	for _, req := range group {
+		req.res = e.applyLocked(req.edges, req.insert)
+		applied += req.res.Applied
+	}
+
+	// One snapshot publication for the whole group.
 	old := e.snap.Load()
-	if res.Applied == 0 {
-		// Nothing changed: keep the current snapshot (and its cache).
-		res.Epoch = old.epoch
-	} else {
-		e.snap.Store(e.buildSnapshot(old.epoch + 1))
-		res.Epoch = old.epoch + 1
+	epoch := old.epoch
+	if applied > 0 {
+		if err := r.serverCrash(e.name, crashBeforePublish); err != nil {
+			e.abortGroup(group, err)
+			return
+		}
+		epoch = old.epoch + 1
+		e.snap.Store(e.buildSnapshot(epoch))
 	}
-	if err := e.maybeCheckpoint(r.ckptBatches, r.ckptBytes); err != nil {
-		return res, fmt.Errorf("server: graph %q: %w: %w", name, ErrStorage, err)
+	for _, req := range group {
+		req.res.Epoch = epoch
 	}
-	return res, nil
+	e.groupCommits.Add(1)
+	e.coalescedBatches.Add(int64(len(group)))
+
+	ckErr := e.maybeCheckpoint(r.ckptBatches, r.ckptBytes, len(group))
+	e.mu.Unlock()
+
+	var groupErr error
+	if ckErr != nil {
+		// The group itself is durable and applied; only the fold failed —
+		// but the store is poisoned now, so poison admissions as well.
+		e.failed.Store(&ckErr)
+		groupErr = fmt.Errorf("server: graph %q: %w: %w", e.name, ErrStorage, ckErr)
+	}
+	for _, req := range group {
+		req.reply(req.res, groupErr)
+	}
+}
+
+// abortGroup poisons the pipeline after an injected server-level crash and
+// fails the whole group: past this point in-memory and durable state could
+// disagree, so no further commit may run. Callers hold e.mu.
+func (e *entry) abortGroup(group []*writeReq, cause error) {
+	e.failed.Store(&cause)
+	e.mu.Unlock()
+	err := fmt.Errorf("server: graph %q: %w: %w", e.name, ErrStorage, cause)
+	for _, req := range group {
+		req.reply(UpdateResult{}, err)
+	}
 }
 
 // applyLocked routes one batch through the graph's maintainer, skipping

@@ -8,11 +8,15 @@
 //     atomic pointer read and never block or be blocked by writers. A
 //     snapshot is immutable: CSR graph, frozen exact-score vector (ModeLocal)
 //     and a monotonically growing result cache keyed by (k, algo, θ).
-//   - Writers (edge batches) serialize per graph on a mutex, apply the batch
-//     through the maintainer (LocalInsert/LocalDelete or
-//     LazyInsert/LazyDelete), then export and atomically publish a fresh
+//   - Writers (edge batches) enter a per-graph bounded admission queue
+//     drained by a dedicated writer goroutine (DESIGN.md §9): each drain
+//     group-commits everything waiting — one WAL fsync, the per-batch
+//     applies through the maintainer (LocalInsert/LocalDelete or
+//     LazyInsert/LazyDelete), then one exported and atomically published
 //     snapshot with a bumped epoch. Swapping the pointer is also the cache
 //     invalidation: the old snapshot's cache becomes unreachable with it.
+//     A full queue rejects with 429 (backpressure); ack=async callers get
+//     their response at admission instead of after the group commit.
 //   - The one read shape that touches maintainer state, algo=lazy (LazyTopK
 //     refreshes stale members on read), takes the same write lock.
 package server
@@ -77,8 +81,12 @@ func (s *Server) Registry() *Registry { return s.reg }
 //	GET    /graphs/{name}/topk?k=&algo=&theta=        top-k query
 //	GET    /graphs/{name}/vertices/{v}/ego-betweenness
 //	GET    /graphs/{name}/stats                       stats + serving counters
-//	POST   /graphs/{name}/edges                       insert edge batch
-//	DELETE /graphs/{name}/edges                       delete edge batch
+//	POST   /graphs/{name}/edges?ack=durable|async     insert edge batch
+//	DELETE /graphs/{name}/edges?ack=durable|async     delete edge batch
+//
+// Edge batches answer 200 after their group commit (ack=durable, the
+// default), 202 at admission (ack=async), or 429 with Retry-After when the
+// graph's write queue is full.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -289,10 +297,12 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	theta := 0.0
 	if qs := q.Get("theta"); qs != "" {
 		v, err := strconv.ParseFloat(qs, 64)
-		if err != nil || v < 1 {
+		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad theta %q (want float ≥ 1)", qs))
 			return
 		}
+		// Range validation lives in Registry.TopK, so the HTTP and the
+		// library surface reject exactly the same values.
 		theta = v
 	}
 	res, err := s.reg.TopK(name, k, q.Get("algo"), theta)
@@ -348,14 +358,19 @@ func (s *Server) handleEdges(insert bool) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 			return
 		}
-		res, err := s.reg.ApplyEdges(name, batch.Edges, insert)
+		res, err := s.reg.ApplyEdgesAck(name, batch.Edges, insert, r.URL.Query().Get("ack"))
 		if err != nil {
-			// A storage failure is the server's fault, not the request's.
-			// (For a failed checkpoint the batch itself is already durable
-			// and applied — ApplyEdges documents this — but the operator
-			// needs the 500 more than the client needs the partial result.)
+			// A full admission queue is backpressure, not failure: 429
+			// with a pacing hint. A storage failure is the server's
+			// fault, not the request's. (For a failed checkpoint the
+			// batch itself is already durable and applied —
+			// ApplyEdgesAck documents this — but the operator needs the
+			// 500 more than the client needs the partial result.)
 			status := http.StatusBadRequest
-			if errors.Is(err, ErrStorage) {
+			if errors.Is(err, ErrBacklog) {
+				status = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", "1")
+			} else if errors.Is(err, ErrStorage) {
 				status = http.StatusInternalServerError
 			} else if _, lookupErr := s.reg.Info(name); lookupErr != nil {
 				status = http.StatusNotFound
@@ -366,6 +381,11 @@ func (s *Server) handleEdges(insert bool) http.HandlerFunc {
 		op := "insert"
 		if !insert {
 			op = "delete"
+		}
+		if res.Pending {
+			s.logf("server: graph %q %s batch admitted async (%d edges)", name, op, len(batch.Edges))
+			writeJSON(w, http.StatusAccepted, res)
+			return
 		}
 		s.logf("server: graph %q %s batch: %d applied, %d failed, epoch %d",
 			name, op, res.Applied, len(res.Errors), res.Epoch)

@@ -30,6 +30,12 @@ const (
 	// CrashBeforeWALAppend fires before a batch record is written: the
 	// batch is lost, as if the process died before acknowledging it.
 	CrashBeforeWALAppend = "before-wal-append"
+	// CrashAfterGroupWrite fires after a group's records have been written
+	// but before the single group fsync: the OS has the bytes, the disk may
+	// not. A process kill at this point leaves the records readable (so
+	// recovery replays them); only a power cut could tear them, which the
+	// torn-tail repair already covers.
+	CrashAfterGroupWrite = "after-group-write"
 	// CrashAfterWALAppend fires after the record is written and synced:
 	// the batch is durable even though the caller never applied it.
 	CrashAfterWALAppend = "after-wal-append"
@@ -232,6 +238,13 @@ func (s *Store) fail(err error) error {
 // healthy.
 func (s *Store) Failed() error { return s.failed }
 
+// BatchSpec is one batch of a group append: the client-submitted edges and
+// the operation, before a sequence number is assigned.
+type BatchSpec struct {
+	Insert bool
+	Edges  [][2]int32
+}
+
 // AppendBatch makes one edge-update batch durable and returns its sequence
 // number. Callers append before applying: a batch whose append fails must
 // not be applied, and a batch whose append succeeded will be replayed on
@@ -240,28 +253,48 @@ func (s *Store) Failed() error { return s.failed }
 // accepting further appends after a write of unknown extent could orphan
 // them behind a torn record, silently un-acknowledging them.
 func (s *Store) AppendBatch(insert bool, edges [][2]int32) (uint64, error) {
+	return s.AppendBatches([]BatchSpec{{Insert: insert, Edges: edges}})
+}
+
+// AppendBatches is the group commit: it makes n batches durable as n
+// consecutive per-batch WAL records — so recovery replay is byte-for-byte
+// the same as n individual appends — but pays one write and one fsync for
+// the whole group. It returns the sequence assigned to the first batch;
+// batch i gets first+i. The failure contract matches AppendBatch: the group
+// is durable as a unit (one fsync covers it), and any failure poisons the
+// store with the whole group un-acknowledged.
+func (s *Store) AppendBatches(specs []BatchSpec) (uint64, error) {
+	if len(specs) == 0 {
+		return 0, fmt.Errorf("store: empty append group")
+	}
 	if s.failed != nil {
 		return 0, fmt.Errorf("store: poisoned by earlier failure: %w", s.failed)
 	}
 	if err := s.crash(CrashBeforeWALAppend); err != nil {
 		return 0, s.fail(err)
 	}
-	b := Batch{Seq: s.seq + 1, Insert: insert, Edges: edges}
-	rec := EncodeBatch(b)
-	if _, err := s.wal.Write(rec); err != nil {
+	first := s.seq + 1
+	var buf []byte
+	for i, sp := range specs {
+		buf = append(buf, EncodeBatch(Batch{Seq: first + uint64(i), Insert: sp.Insert, Edges: sp.Edges})...)
+	}
+	if _, err := s.wal.Write(buf); err != nil {
 		return 0, s.fail(fmt.Errorf("store: wal append: %w", err))
+	}
+	if err := s.crash(CrashAfterGroupWrite); err != nil {
+		return 0, s.fail(err)
 	}
 	if s.sync {
 		if err := s.wal.Sync(); err != nil {
 			return 0, s.fail(fmt.Errorf("store: wal sync: %w", err))
 		}
 	}
-	s.seq = b.Seq
-	s.walBytes += int64(len(rec))
+	s.seq += uint64(len(specs))
+	s.walBytes += int64(len(buf))
 	if err := s.crash(CrashAfterWALAppend); err != nil {
 		return 0, s.fail(err)
 	}
-	return b.Seq, nil
+	return first, nil
 }
 
 // Checkpoint atomically replaces the snapshot with g (which must reflect
