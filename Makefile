@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-figs bench-smoke fuzz-smoke cover serve fmt vet clean
+.PHONY: build test bench bench-pr5 bench-figs bench-smoke fuzz-smoke cover serve fmt lint vet clean
 
 build:
 	$(GO) build ./...
@@ -12,12 +12,14 @@ test: vet
 
 # Bench-regression harness: machine-readable ns/op for the hot paths
 # (ComputeAll, OptBSearch, Maintainer.InsertEdge, snapshot build, the
-# PR 3 persistence costs: snapshot codec, fsync'd WAL append, checkpoint,
-# recovery — and the PR 4 write-throughput rows: durable-ack batches/sec
-# at 1/4/16 concurrent writers vs the serialized group-limit-1 baseline),
-# written to BENCH_PR4.json so the perf trajectory is tracked across PRs.
-bench: build
-	$(GO) run ./cmd/benchtab -prbench BENCH_PR4.json
+# PR 3 persistence costs, the PR 4 write-throughput rows, and the PR 5
+# snapshot-publication rows: full-freeze vs copy-on-write overlay at
+# 1/16/256-edge batches, plus the background compaction cost), written to
+# BENCH_PR5.json so the perf trajectory is tracked across PRs.
+bench: bench-pr5
+
+bench-pr5: build
+	$(GO) run ./cmd/benchtab -prbench BENCH_PR5.json
 
 # Regenerate the paper's tables and figures (quick grids; -full for the
 # paper's grids). See EXPERIMENTS.md.
@@ -52,6 +54,14 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet (the CI lint step). Uses a PATH-installed
+# staticcheck when available, else fetches the pinned version via `go run`
+# (needs network; CI always takes this path).
+STATICCHECK_VERSION ?= 2025.1.1
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else $(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; fi
 
 clean:
 	$(GO) clean ./...

@@ -16,6 +16,9 @@
 //	egobwd -write-queue 256 -flush-interval 2ms
 //	                                  # write pipeline: admission-queue
 //	                                  # capacity and group-commit window
+//	egobwd -compact-depth 4 -compact-dirty 0.1
+//	                                  # overlay compaction policy: flatten
+//	                                  # the snapshot's delta chain sooner
 //
 // Walkthrough (see README.md for the full API):
 //
@@ -55,6 +58,8 @@ type config struct {
 	ckptBytes    int64
 	writeQueue   int
 	flushEvery   time.Duration
+	compactDepth int
+	compactDirty float64
 }
 
 func main() {
@@ -69,6 +74,8 @@ func main() {
 	flag.Int64Var(&cfg.ckptBytes, "checkpoint-bytes", 0, "also checkpoint once a graph's WAL exceeds this many bytes (0 = default 4 MiB)")
 	flag.IntVar(&cfg.writeQueue, "write-queue", 0, "per-graph write admission-queue capacity; a full queue answers 429 (0 = default 128)")
 	flag.DurationVar(&cfg.flushEvery, "flush-interval", 0, "group-commit coalescing window: how long the writer waits for more batches after the first arrives (0 = commit whatever is queued immediately)")
+	flag.IntVar(&cfg.compactDepth, "compact-depth", 0, "compact a graph's overlay chain into a fresh base CSR once it is this many layers deep (0 = default 8; 1 compacts after every drain)")
+	flag.Float64Var(&cfg.compactDirty, "compact-dirty", 0, "also compact once the chain's dirty vertices reach this fraction of n (0 = default 0.25)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -85,6 +92,7 @@ func setup(cfg config) (*server.Server, error) {
 		server.WithBuildWorkers(cfg.buildWorkers),
 		server.WithWriteQueue(cfg.writeQueue),
 		server.WithFlushInterval(cfg.flushEvery),
+		server.WithCompactPolicy(cfg.compactDepth, cfg.compactDirty),
 	}
 	if cfg.dataDir != "" {
 		regOpts = append(regOpts,

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/server"
 )
@@ -72,6 +73,47 @@ func main() {
 	call("GET", base+"/graphs/social/topk?k=5", "")
 	call("GET", base+"/graphs/social/stats", "")
 	call("GET", base+"/healthz", "")
+
+	// 5b. Delta-overlay snapshots under a write burst (DESIGN.md §10).
+	// Each drain publishes an O(batch) copy-on-write overlay — watch
+	// overlay_depth climb and publish_ms stay tiny — until the chain hits
+	// the compaction policy (default: depth 8) and the background
+	// compactor folds it into a fresh base CSR: compactions advances and
+	// overlay_depth drops, all without ever blocking the writers.
+	fmt.Println("\n--- write burst: overlay publication + background compaction ---")
+	for i := 0; i < 12; i++ {
+		u, v := 10+i, 3000+i
+		body := fmt.Sprintf(`{"edges": [[%d, %d]]}`, u, v)
+		resp, err := http.Post(base+"/graphs/social/edges", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			panic(err)
+		}
+		resp.Body.Close()
+		if i == 5 || i == 11 {
+			call("GET", base+"/graphs/social", "") // note overlay_depth / publish_ms
+		}
+	}
+	// The compactor runs off the write path; poll briefly until its fold
+	// lands (compactions > 0 and the served chain is short again).
+	for i := 0; i < 100; i++ {
+		resp, err := http.Get(base + "/graphs/social")
+		if err != nil {
+			panic(err)
+		}
+		var info struct {
+			Compactions  int64 `json:"compactions"`
+			OverlayDepth int   `json:"overlay_depth"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			panic(err)
+		}
+		resp.Body.Close()
+		if info.Compactions > 0 && info.OverlayDepth < 8 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	call("GET", base+"/graphs/social", "") // note compactions / compact_ms
 
 	// 6. Durability (README "Durable graphs", DESIGN.md §8): the same flow
 	// against a -data-dir server, killed without shutdown and restarted.

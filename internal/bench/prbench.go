@@ -59,9 +59,29 @@ type PRBenchEntry struct {
 	WritePipelined16WBps  float64 `json:"write_pipelined_16w_batches_per_sec"`
 	WriteSpeedup16W       float64 `json:"write_throughput_speedup_16w"`
 	WriteGroupMean16W     float64 `json:"write_group_mean_16w"`
+
+	// Snapshot publication (PR 5, delta-overlay snapshots): wall-clock to
+	// publish one drain's result at 1/16/256-edge batches. The full-freeze
+	// baseline is the pre-overlay write path — a complete O(n+m) CSR export
+	// per drain; the overlay path copies only the adjacency rows the batch
+	// dirtied, so its cost tracks the batch, not the graph. The compact row
+	// is the O(n+m) flatten the background compactor pays off the write
+	// path, and the overlay OptBSearch row prices the read-side chain-walk
+	// penalty the compaction policy bounds.
+	PublishFullB1Ns      int64   `json:"publish_full_freeze_b1_ns"`
+	PublishOverlayB1Ns   int64   `json:"publish_overlay_b1_ns"`
+	PublishFullB16Ns     int64   `json:"publish_full_freeze_b16_ns"`
+	PublishOverlayB16Ns  int64   `json:"publish_overlay_b16_ns"`
+	PublishFullB256Ns    int64   `json:"publish_full_freeze_b256_ns"`
+	PublishOverlayB256Ns int64   `json:"publish_overlay_b256_ns"`
+	PublishSpeedupB1     float64 `json:"publish_speedup_b1"`
+	PublishSpeedupB16    float64 `json:"publish_speedup_b16"`
+	PublishSpeedupB256   float64 `json:"publish_speedup_b256"`
+	OverlayCompactNs     int64   `json:"overlay_compact_ns"`
+	OptOverlayK100Ns     int64   `json:"opt_bsearch_k100_overlay_ns_op"`
 }
 
-// PRBench is the bench-regression document (currently BENCH_PR4.json).
+// PRBench is the bench-regression document (currently BENCH_PR5.json).
 type PRBench struct {
 	GeneratedAt string         `json:"generated_at"`
 	GOMAXPROCS  int            `json:"gomaxprocs"`
@@ -137,6 +157,7 @@ func RunPRBench(names []string) PRBench {
 
 		measureStore(&e, g, edges)
 		measureWrites(&e, g)
+		measurePublish(&e, g)
 
 		doc.Datasets = append(doc.Datasets, e)
 	}
@@ -197,6 +218,75 @@ func measureStore(e *PRBenchEntry, g *graph.Graph, edges [][2]int32) {
 		}
 		must(st2.Close())
 	}))
+}
+
+// measurePublish times snapshot publication on dataset graph g at small,
+// medium, and large batches: the pre-overlay full-freeze baseline (one
+// complete CSR export per drain) against the copy-on-write overlay path
+// (only the dirtied rows). Each round toggles a sampled edge set off and on
+// so the graph returns to its original state; only the publication calls
+// are on the clock. The overlay side publishes onto the base CSR each
+// round, matching the steady state the compactor maintains.
+func measurePublish(e *PRBenchEntry, g *graph.Graph) {
+	const maxBatch = 256
+	dyn := graph.DynFromGraph(g)
+	all := pickEdges(g, maxBatch, 0x9E0)
+
+	type cell struct {
+		full, overlay *int64
+		speedup       *float64
+	}
+	cells := map[int]cell{
+		1:   {&e.PublishFullB1Ns, &e.PublishOverlayB1Ns, &e.PublishSpeedupB1},
+		16:  {&e.PublishFullB16Ns, &e.PublishOverlayB16Ns, &e.PublishSpeedupB16},
+		256: {&e.PublishFullB256Ns, &e.PublishOverlayB256Ns, &e.PublishSpeedupB256},
+	}
+	toggle := func(batch [][2]int32, insert bool) {
+		for _, ed := range batch {
+			if insert {
+				must(dyn.InsertEdge(ed[0], ed[1]))
+			} else {
+				must(dyn.DeleteEdge(ed[0], ed[1]))
+			}
+		}
+	}
+	// publishRounds times `publish` across rounds of delete-then-reinsert
+	// drains and returns ns per publication (mutation cost excluded).
+	publishRounds := func(batch [][2]int32, rounds int, publish func()) int64 {
+		var total time.Duration
+		for r := 0; r < rounds; r++ {
+			for _, insert := range []bool{false, true} {
+				toggle(batch, insert)
+				t0 := time.Now()
+				publish()
+				total += time.Since(t0)
+			}
+		}
+		return int64(total) / int64(2*rounds)
+	}
+	for _, bs := range []int{1, 16, 256} {
+		if bs > len(all) {
+			continue // dataset smaller than the batch tier: leave the row zero
+		}
+		batch := all[:bs]
+		c := cells[bs]
+		*c.full = publishRounds(batch, 4, func() {
+			dyn.TakeDirty() // the full freeze ignores (and so must drain) dirty state
+			dyn.Freeze(1)
+		})
+		*c.overlay = publishRounds(batch, 64, func() { dyn.FreezeOverlay(g) })
+		if *c.overlay > 0 {
+			*c.speedup = float64(*c.full) / float64(*c.overlay)
+		}
+	}
+
+	// The compactor's flatten, on a chain carrying maxBatch dirtied rows,
+	// and the read-side penalty of searching through such an overlay.
+	toggle(all, false)
+	ov := dyn.FreezeOverlay(g) // immutable: safe to keep across the re-insert
+	toggle(all, true)
+	e.OverlayCompactNs = int64(timeIt(func() { ov.Materialize(1) }))
+	e.OptOverlayK100Ns = int64(timeIt(func() { ego.OptBSearch(ov, 100, 1.05) }))
 }
 
 // WritePRBench runs the regression suite and writes BENCH-style JSON to

@@ -304,7 +304,7 @@ func (lt *LazyTopK) InsertEdge(u, v int32) error {
 	if lt.g.HasEdge(u, v) {
 		return fmt.Errorf("dynamic: edge (%d,%d) already present", u, v)
 	}
-	lt.comm = nbr.IntersectInto(lt.comm[:0], lt.g.Neighbors(u), lt.g.Neighbors(v))
+	lt.comm = nbr.CommonInto(lt.comm[:0], lt.g, u, v)
 	comm := lt.comm
 	if err := lt.g.InsertEdge(u, v); err != nil {
 		return err
@@ -332,7 +332,7 @@ func (lt *LazyTopK) DeleteEdge(u, v int32) error {
 	if u < 0 || v < 0 || u == v || !lt.g.HasEdge(u, v) {
 		return fmt.Errorf("dynamic: edge (%d,%d) not present", u, v)
 	}
-	lt.comm = nbr.IntersectInto(lt.comm[:0], lt.g.Neighbors(u), lt.g.Neighbors(v))
+	lt.comm = nbr.CommonInto(lt.comm[:0], lt.g, u, v)
 	comm := lt.comm
 	if err := lt.g.DeleteEdge(u, v); err != nil {
 		return err

@@ -19,8 +19,41 @@ type Maintainer struct {
 	aux  []int32       // scratch: secondary intersections
 	reg  *nbr.Register // scratch: L-membership bitset for endpoint scans
 
+	// Dirty-score tracking for copy-on-write snapshot publication: the
+	// vertices whose cb actually moved since the last TakeDirtyScores,
+	// deduplicated. Every cb mutation goes through adjust, so a drain that
+	// changed no score publishes no score copies at all.
+	dirtyCB  []int32
+	dirtySet []bool
+
 	// Stats counts the work done, for the Fig. 8 analysis.
 	Stats MaintainerStats
+}
+
+// adjust applies a delta to v's maintained score, recording v as dirty so
+// the serving layer's chunked copy-on-write score vector copies only the
+// chunks that actually changed. A zero delta is a no-op.
+func (m *Maintainer) adjust(v int32, d float64) {
+	if d == 0 {
+		return
+	}
+	m.cb[v] += d
+	if !m.dirtySet[v] {
+		m.dirtySet[v] = true
+		m.dirtyCB = append(m.dirtyCB, v)
+	}
+}
+
+// TakeDirtyScores returns the vertices whose maintained score changed since
+// the last call (deduplicated) and resets the tracking. The caller owns the
+// returned slice.
+func (m *Maintainer) TakeDirtyScores() []int32 {
+	out := m.dirtyCB
+	for _, v := range out {
+		m.dirtySet[v] = false
+	}
+	m.dirtyCB = nil
+	return out
 }
 
 // MaintainerStats tallies update work.
@@ -35,7 +68,7 @@ type MaintainerStats struct {
 // ego-betweennesses and taking ownership of the evidence maps.
 func NewMaintainer(g *graph.Graph) *Maintainer {
 	cb, maps := ego.ComputeAllWithMaps(g)
-	return &Maintainer{g: graph.DynFromGraph(g), s: maps, cb: cb, reg: nbr.NewRegister(g.NumVertices())}
+	return NewMaintainerFromScores(g, cb, maps)
 }
 
 // NewMaintainerFromScores builds the maintainer from an already-computed
@@ -43,7 +76,11 @@ func NewMaintainer(g *graph.Graph) *Maintainer {
 // engine's output), taking ownership of both. len(cb) and len(maps) must
 // equal g.NumVertices().
 func NewMaintainerFromScores(g *graph.Graph, cb []float64, maps []*pairmap.Map) *Maintainer {
-	return &Maintainer{g: graph.DynFromGraph(g), s: maps, cb: cb, reg: nbr.NewRegister(g.NumVertices())}
+	return &Maintainer{
+		g: graph.DynFromGraph(g), s: maps, cb: cb,
+		reg:      nbr.NewRegister(g.NumVertices()),
+		dirtySet: make([]bool, g.NumVertices()),
+	}
 }
 
 // Graph exposes the maintained graph (read-only use).
@@ -95,6 +132,7 @@ func (m *Maintainer) growTo(n int32) {
 	for int32(len(m.cb)) < n {
 		m.cb = append(m.cb, 0)
 		m.s = append(m.s, nil)
+		m.dirtySet = append(m.dirtySet, false)
 	}
 }
 
@@ -117,7 +155,7 @@ func (m *Maintainer) InsertEdge(u, v int32) error {
 		return fmt.Errorf("dynamic: edge (%d,%d) already present", u, v)
 	}
 	// L before the insert equals L after: w ∈ L is untouched by (u,v).
-	m.comm = nbr.IntersectInto(m.comm[:0], m.g.Neighbors(u), m.g.Neighbors(v))
+	m.comm = nbr.CommonInto(m.comm[:0], m.g, u, v)
 	l := append([]int32(nil), m.comm...)
 	if err := m.g.InsertEdge(u, v); err != nil {
 		return err
@@ -135,9 +173,9 @@ func (m *Maintainer) InsertEdge(u, v int32) error {
 			}
 			key := pairmap.Key(x, y)
 			cu := m.mapFor(u).Add(key, 1)
-			m.cb[u] += 1/float64(cu+1) - 1/float64(cu)
+			m.adjust(u, 1/float64(cu+1)-1/float64(cu))
 			cv := m.mapFor(v).Add(key, 1)
-			m.cb[v] += 1/float64(cv+1) - 1/float64(cv)
+			m.adjust(v, 1/float64(cv+1)-1/float64(cv))
 			m.Stats.TouchedPairs += 2
 		}
 	}
@@ -149,7 +187,7 @@ func (m *Maintainer) InsertEdge(u, v int32) error {
 	for _, w := range l {
 		keyUV := pairmap.Key(u, v)
 		old := m.getCount(w, keyUV) // exact connector count of (u,v) in GE(w)
-		m.cb[w] -= 1 / float64(old+1)
+		m.adjust(w, -1/float64(old+1))
 		m.mapFor(w).SetMarker(keyUV) // the pair is adjacent now
 		m.Stats.TouchedPairs++
 		m.commonGains(w, u, v) // pairs (u,x) gain connector v
@@ -178,7 +216,7 @@ func (m *Maintainer) insertEndpointPairs(p, other int32, l []int32) {
 		}
 		// Connectors of (other, x) in GE(p): w ∈ N(p) adjacent to both.
 		c := int32(0)
-		m.aux = nbr.IntersectInto(m.aux[:0], m.g.Neighbors(p), m.g.Neighbors(x))
+		m.aux = nbr.CommonInto(m.aux[:0], m.g, p, x)
 		for _, w := range m.aux {
 			if w != other && m.g.HasEdge(w, other) {
 				c++
@@ -187,7 +225,7 @@ func (m *Maintainer) insertEndpointPairs(p, other int32, l []int32) {
 		if c > 0 {
 			m.mapFor(p).Set(key, c)
 		}
-		m.cb[p] += 1 / float64(c+1)
+		m.adjust(p, 1/float64(c+1))
 		m.Stats.TouchedPairs++
 	}
 }
@@ -196,13 +234,13 @@ func (m *Maintainer) insertEndpointPairs(p, other int32, l []int32) {
 // (a, x) with x ∈ N(w) ∩ N(b), x ≠ a, (a,x) ∉ E gains the connector b
 // (where {a, b} = {u, v}).
 func (m *Maintainer) commonGains(w, a, b int32) {
-	m.aux = nbr.IntersectInto(m.aux[:0], m.g.Neighbors(w), m.g.Neighbors(b))
+	m.aux = nbr.CommonInto(m.aux[:0], m.g, w, b)
 	for _, x := range m.aux {
 		if x == a || m.g.HasEdge(a, x) {
 			continue
 		}
 		c := m.mapFor(w).Add(pairmap.Key(a, x), 1)
-		m.cb[w] += 1/float64(c+1) - 1/float64(c)
+		m.adjust(w, 1/float64(c+1)-1/float64(c))
 		m.Stats.TouchedPairs++
 	}
 }
@@ -213,7 +251,7 @@ func (m *Maintainer) DeleteEdge(u, v int32) error {
 	if u < 0 || v < 0 || u == v || !m.g.HasEdge(u, v) {
 		return fmt.Errorf("dynamic: edge (%d,%d) not present", u, v)
 	}
-	m.comm = nbr.IntersectInto(m.comm[:0], m.g.Neighbors(u), m.g.Neighbors(v))
+	m.comm = nbr.CommonInto(m.comm[:0], m.g, u, v)
 	l := append([]int32(nil), m.comm...)
 	m.Stats.Deletes++
 	m.Stats.AffectedVerts += int64(len(l)) + 2
@@ -227,10 +265,10 @@ func (m *Maintainer) DeleteEdge(u, v int32) error {
 			}
 			key := pairmap.Key(x, y)
 			cu := m.getCount(u, key) // ≥ 1: v is a connector
-			m.cb[u] += 1/float64(cu) - 1/float64(cu+1)
+			m.adjust(u, 1/float64(cu)-1/float64(cu+1))
 			m.mapFor(u).Add(key, -1)
 			cv := m.getCount(v, key)
-			m.cb[v] += 1/float64(cv) - 1/float64(cv+1)
+			m.adjust(v, 1/float64(cv)-1/float64(cv+1))
 			m.mapFor(v).Add(key, -1)
 			m.Stats.TouchedPairs += 2
 		}
@@ -250,7 +288,7 @@ func (m *Maintainer) DeleteEdge(u, v int32) error {
 		} else {
 			m.mapFor(w).Delete(keyUV)
 		}
-		m.cb[w] += 1 / float64(c+1)
+		m.adjust(w, 1/float64(c+1))
 		m.Stats.TouchedPairs++
 		m.commonLosses(w, u, v) // pairs (u,x) lose connector v
 		m.commonLosses(w, v, u) // pairs (v,x) lose connector u
@@ -275,7 +313,7 @@ func (m *Maintainer) deleteEndpointPairs(p, other int32, l []int32) {
 			m.mapFor(p).Delete(key)
 		} else {
 			c := m.getCount(p, key)
-			m.cb[p] -= 1 / float64(c+1)
+			m.adjust(p, -1/float64(c+1))
 			if c > 0 {
 				m.s[p].Delete(key)
 			}
@@ -287,14 +325,14 @@ func (m *Maintainer) deleteEndpointPairs(p, other int32, l []int32) {
 // commonLosses applies, for common neighbor w, the Lemma 7 term: every pair
 // (a, x) with x ∈ N(w) ∩ N(b), x ≠ a, (a,x) ∉ E loses the connector b.
 func (m *Maintainer) commonLosses(w, a, b int32) {
-	m.aux = nbr.IntersectInto(m.aux[:0], m.g.Neighbors(w), m.g.Neighbors(b))
+	m.aux = nbr.CommonInto(m.aux[:0], m.g, w, b)
 	for _, x := range m.aux {
 		if x == a || m.g.HasEdge(a, x) {
 			continue
 		}
 		key := pairmap.Key(a, x)
 		c := m.getCount(w, key) // ≥ 1: b was a connector
-		m.cb[w] += 1/float64(c) - 1/float64(c+1)
+		m.adjust(w, 1/float64(c)-1/float64(c+1))
 		m.mapFor(w).Add(key, -1)
 		m.Stats.TouchedPairs++
 	}

@@ -6,11 +6,12 @@ import (
 	"repro/internal/pairmap"
 )
 
-// ComputeAll returns the exact ego-betweenness of every vertex. It processes
-// every undirected edge exactly once (markers + credits, see the package
-// comment) and then scores each vertex from its completed evidence map.
-// Time O(α·m·d_max) in the worst case, space O(m·d_max), matching Theorem 2.
-func ComputeAll(g *graph.Graph) []float64 {
+// ComputeAll returns the exact ego-betweenness of every vertex of any view
+// (frozen CSR, overlay, or dynamic graph). It processes every undirected
+// edge exactly once (markers + credits, see the package comment) and then
+// scores each vertex from its completed evidence map. Time O(α·m·d_max) in
+// the worst case, space O(m·d_max), matching Theorem 2.
+func ComputeAll(g graph.View) []float64 {
 	cb, _ := ComputeAllWithMaps(g)
 	return cb
 }
@@ -19,11 +20,11 @@ func ComputeAll(g *graph.Graph) []float64 {
 // maps, which the dynamic maintenance algorithms take ownership of. maps[v]
 // may be nil when vertex v accumulated no evidence (no edges inside GE(v)
 // beyond the spokes); such vertices have CB(v) = d(d−1)/2.
-func ComputeAllWithMaps(g *graph.Graph) ([]float64, []*pairmap.Map) {
+func ComputeAllWithMaps(g graph.View) ([]float64, []*pairmap.Map) {
 	e := newEvidence(g)
 	var comm []int32
-	g.EachEdge(func(u, v int32) bool {
-		comm = nbr.IntersectInto(comm[:0], g.Neighbors(u), g.Neighbors(v))
+	graph.EachEdgeIn(g, func(u, v int32) bool {
+		comm = nbr.CommonInto(comm[:0], g, u, v)
 		e.applyEdge(u, v, comm)
 		return true
 	})

@@ -79,7 +79,7 @@ func ScoreEvidence(d int32, s *pairmap.Map) float64 {
 // processed-edge set, and scratch buffers. Both search algorithms and the
 // all-vertices computation drive it.
 type evidence struct {
-	g         *graph.Graph
+	g         graph.View
 	maps      []*pairmap.Map
 	processed *pairmap.Set
 	done      []bool // exact CB already extracted; skip further credits
@@ -92,7 +92,7 @@ type evidence struct {
 	MarkerOps      int64
 }
 
-func newEvidence(g *graph.Graph) *evidence {
+func newEvidence(g graph.View) *evidence {
 	return &evidence{
 		g:         g,
 		maps:      make([]*pairmap.Map, g.NumVertices()),
@@ -176,7 +176,7 @@ func (e *evidence) ensureEgo(u int32) {
 		}
 		for _, w := range e.comm {
 			if w > v && e.processed.Insert(pairmap.Key(v, w)) {
-				e.comm2 = nbr.IntersectInto(e.comm2[:0], e.g.Neighbors(v), e.g.Neighbors(w))
+				e.comm2 = nbr.CommonInto(e.comm2[:0], e.g, v, w)
 				e.applyEdge(v, w, e.comm2)
 			}
 		}

@@ -37,10 +37,10 @@ type SearchStats struct {
 // The scans here apply a credit for pair (x, w) discovered from a triangle
 // (·, connector, w) only when x > w, so across the diamond's two triangles
 // exactly one credit fires.
-func BaseBSearch(g *graph.Graph, k int) ([]Result, SearchStats) {
+func BaseBSearch(g graph.View, k int) ([]Result, SearchStats) {
 	var st SearchStats
 	r := topk.NewBounded(k)
-	order := g.Order()
+	order := graph.OrderOf(g)
 	o := graph.Orient(g)
 	maps := make([]*pairmap.Map, g.NumVertices())
 	done := make([]bool, g.NumVertices())
@@ -119,7 +119,7 @@ func BaseBSearch(g *graph.Graph, k int) ([]Result, SearchStats) {
 // vertex is pushed back (or pruned when it can no longer reach the top-k)
 // instead of being computed. θ trades bound-refresh cost against exact
 // computations; the paper's default is 1.05.
-func OptBSearch(g *graph.Graph, k int, theta float64) ([]Result, SearchStats) {
+func OptBSearch(g graph.View, k int, theta float64) ([]Result, SearchStats) {
 	if theta < 1 {
 		theta = 1
 	}
@@ -164,7 +164,7 @@ func OptBSearch(g *graph.Graph, k int, theta float64) ([]Result, SearchStats) {
 // TopKExact is the straightforward baseline: compute every vertex exactly
 // and sort. It anchors correctness tests and the "compute all" reference
 // point in the experiments.
-func TopKExact(g *graph.Graph, k int) []Result {
+func TopKExact(g graph.View, k int) []Result {
 	cb := ComputeAll(g)
 	r := topk.NewBounded(k)
 	for v := int32(0); v < g.NumVertices(); v++ {
@@ -173,15 +173,23 @@ func TopKExact(g *graph.Graph, k int) []Result {
 	return toResults(r)
 }
 
+// TopKOf selects the k best of n scores read through at(v), sorted
+// descending with ties by ascending id. The accessor form lets callers hold
+// scores in any layout — the serving layer's chunked copy-on-write vector
+// reads through it without flattening.
+func TopKOf(n int32, at func(int32) float64, k int) []Result {
+	r := topk.NewBounded(k)
+	for v := int32(0); v < n; v++ {
+		r.Add(v, at(v))
+	}
+	return toResults(r)
+}
+
 // TopKOfScores selects the k best vertices from a precomputed score vector
 // (maintained scores, a frozen snapshot, …), sorted descending with ties by
 // ascending id. Shared by Maintainer.TopK and the serving layer.
 func TopKOfScores(scores []float64, k int) []Result {
-	r := topk.NewBounded(k)
-	for v, cb := range scores {
-		r.Add(int32(v), cb)
-	}
-	return toResults(r)
+	return TopKOf(int32(len(scores)), func(v int32) float64 { return scores[v] }, k)
 }
 
 func toResults(r *topk.Bounded) []Result {

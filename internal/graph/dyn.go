@@ -3,7 +3,6 @@ package graph
 import (
 	"fmt"
 	"sort"
-	"sync"
 )
 
 // DynGraph is a mutable undirected graph with per-vertex sorted adjacency
@@ -14,6 +13,13 @@ import (
 type DynGraph struct {
 	adj [][]int32
 	m   int64
+
+	// Per-drain dirty tracking: the vertices whose adjacency changed since
+	// the last TakeDirty, deduplicated. InsertEdge/DeleteEdge mark their two
+	// endpoints, which is exactly the set of rebuilt lists an overlay
+	// publication needs — O(batch) state for an O(batch) publication.
+	dirty    []int32
+	dirtySet []bool
 }
 
 // Adjacency is the minimal read-only view shared by Graph and DynGraph.
@@ -58,41 +64,50 @@ func DynFromGraph(g *Graph) *DynGraph {
 // layer, where export latency sits inside the per-graph write lock.
 func (d *DynGraph) Freeze(workers int) *Graph {
 	n := int32(len(d.adj))
-	offsets := make([]int64, n+1)
-	var maxDeg int32
-	for v := int32(0); v < n; v++ {
-		deg := int32(len(d.adj[v]))
-		offsets[v+1] = offsets[v] + int64(deg)
-		if deg > maxDeg {
-			maxDeg = deg
-		}
-	}
-	adj := make([]int32, offsets[n])
-	copyRows := func(lo, hi int32) {
-		for v := lo; v < hi; v++ {
-			copy(adj[offsets[v]:offsets[v+1]], d.adj[v])
-		}
-	}
-	if workers <= 1 || n < 1024 {
-		copyRows(0, n)
-	} else {
-		var wg sync.WaitGroup
-		chunk := (n + int32(workers) - 1) / int32(workers)
-		for lo := int32(0); lo < n; lo += chunk {
-			hi := lo + chunk
-			if hi > n {
-				hi = n
-			}
-			wg.Add(1)
-			go func(lo, hi int32) {
-				defer wg.Done()
-				copyRows(lo, hi)
-			}(lo, hi)
-		}
-		wg.Wait()
-	}
-	return &Graph{offsets: offsets, adj: adj, n: n, m: d.m, maxDeg: maxDeg}
+	return exportCSR(n, d.m, func(v int32) []int32 { return d.adj[v] }, workers)
 }
+
+// FreezeOverlay publishes the current state as a copy-on-write overlay on
+// prev — the previously published view, either a frozen *Graph or an
+// earlier *Overlay. It drains the dirty set and copies only those vertices'
+// adjacency lists (the copies detach the overlay from future in-place
+// mutations of this DynGraph), so the cost is O(Σ d(v) over dirtied v) —
+// proportional to the drained batch, independent of the graph size. This is
+// the O(batch) snapshot-publication path of the serving layer.
+func (d *DynGraph) FreezeOverlay(prev View) *Overlay {
+	dirty := d.TakeDirty()
+	delta := make(map[int32][]int32, len(dirty))
+	for _, v := range dirty {
+		delta[v] = append([]int32(nil), d.adj[v]...)
+	}
+	return NewOverlay(prev, int32(len(d.adj)), d.m, delta)
+}
+
+// markDirty records that v's adjacency changed since the last TakeDirty.
+func (d *DynGraph) markDirty(v int32) {
+	for int32(len(d.dirtySet)) <= v {
+		d.dirtySet = append(d.dirtySet, false)
+	}
+	if !d.dirtySet[v] {
+		d.dirtySet[v] = true
+		d.dirty = append(d.dirty, v)
+	}
+}
+
+// TakeDirty returns the vertices whose adjacency changed since the last
+// call (in first-dirtied order, deduplicated) and resets the tracking. The
+// caller owns the returned slice.
+func (d *DynGraph) TakeDirty() []int32 {
+	out := d.dirty
+	for _, v := range out {
+		d.dirtySet[v] = false
+	}
+	d.dirty = nil
+	return out
+}
+
+// DirtyCount returns how many vertices are currently marked dirty.
+func (d *DynGraph) DirtyCount() int { return len(d.dirty) }
 
 // NumVertices returns the current number of vertices.
 func (d *DynGraph) NumVertices() int32 { return int32(len(d.adj)) }
@@ -146,6 +161,8 @@ func (d *DynGraph) InsertEdge(u, v int32) error {
 	d.adj[u] = insertSorted(d.adj[u], v)
 	d.adj[v] = insertSorted(d.adj[v], u)
 	d.m++
+	d.markDirty(u)
+	d.markDirty(v)
 	return nil
 }
 
@@ -165,6 +182,8 @@ func (d *DynGraph) DeleteEdge(u, v int32) error {
 	}
 	d.adj[u], d.adj[v] = au, av
 	d.m--
+	d.markDirty(u)
+	d.markDirty(v)
 	return nil
 }
 
@@ -184,7 +203,8 @@ func (d *DynGraph) MaxDegree() int32 {
 	return mx
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy of the adjacency state. Dirty tracking starts
+// fresh in the clone: it belongs to the publication pipeline of the original.
 func (d *DynGraph) Clone() *DynGraph {
 	adj := make([][]int32, len(d.adj))
 	for v, nbrs := range d.adj {

@@ -3,7 +3,6 @@ package graph
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Graph is an immutable undirected graph in CSR form. The neighbor list of
@@ -79,42 +78,15 @@ func (g *Graph) Before(u, v int32) bool {
 // Order returns all vertices sorted by the total order ≺ (non-increasing
 // degree, ties broken by descending identifier). BaseBSearch processes
 // vertices in exactly this order.
-func (g *Graph) Order() []int32 {
-	order := make([]int32, g.n)
-	for i := range order {
-		order[i] = int32(i)
-	}
-	sort.Slice(order, func(i, j int) bool {
-		return g.Before(order[i], order[j])
-	})
-	return order
-}
+func (g *Graph) Order() []int32 { return OrderOf(g) }
 
 // Rank returns rank[v] = position of v in Order(). Lower rank means earlier
 // in ≺ (higher degree). It is the orientation key for G+.
-func (g *Graph) Rank() []int32 {
-	order := g.Order()
-	rank := make([]int32, g.n)
-	for i, v := range order {
-		rank[v] = int32(i)
-	}
-	return rank
-}
+func (g *Graph) Rank() []int32 { return RankOf(g) }
 
 // EachEdge calls fn exactly once for every undirected edge, with u < v by
 // identifier. Iteration stops early if fn returns false.
-func (g *Graph) EachEdge(fn func(u, v int32) bool) {
-	for u := int32(0); u < g.n; u++ {
-		for _, v := range g.Neighbors(u) {
-			if v <= u {
-				continue
-			}
-			if !fn(u, v) {
-				return
-			}
-		}
-	}
-}
+func (g *Graph) EachEdge(fn func(u, v int32) bool) { EachEdgeIn(g, fn) }
 
 // Edges materializes the undirected edge set with u < v per pair.
 func (g *Graph) Edges() [][2]int32 {

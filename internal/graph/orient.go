@@ -12,9 +12,9 @@ type Oriented struct {
 	n       int32
 }
 
-// Orient builds G+ from g.
-func Orient(g *Graph) *Oriented {
-	rank := g.Rank()
+// Orient builds G+ from any view of g.
+func Orient(g View) *Oriented {
+	rank := RankOf(g)
 	n := g.NumVertices()
 	offsets := make([]int64, n+1)
 	for v := int32(0); v < n; v++ {

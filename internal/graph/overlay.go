@@ -1,0 +1,204 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Overlay is a copy-on-write read view: an immutable base CSR plus a short
+// chain of delta layers, each holding the fully rebuilt sorted adjacency of
+// only the vertices dirtied by one publication. Looking up a vertex walks
+// the chain newest-first and falls back to the base, so every read — and
+// therefore every kernel, search, and serving query — sees exactly the
+// graph the newest layer describes while construction costs O(dirty), not
+// O(n + m).
+//
+// Overlays are immutable once constructed and safe for concurrent readers;
+// layering a new overlay on top never mutates the ones below. The chain is
+// kept short by compaction (Materialize), which flattens everything into a
+// fresh standalone CSR off the hot path.
+type Overlay struct {
+	base   *Graph
+	parent *Overlay          // next-older layer; nil when delta sits on base
+	delta  map[int32][]int32 // vertex -> rebuilt sorted adjacency at this layer
+	n      int32
+	m      int64
+	depth  int32
+	dirty  int // Σ layer sizes down the chain (upper bound on distinct dirty vertices)
+
+	// maxDeg is computed on first demand: deletions can lower the maximum
+	// below the base's, so the exact value needs an O(n) scan, which only
+	// the statistics path wants.
+	maxDegOnce sync.Once
+	maxDeg     int32
+}
+
+// NewOverlay layers delta on a previous view, which must be either a frozen
+// *Graph (the overlay then sits directly on the base) or an *Overlay (the
+// chain grows by one layer). delta maps each dirtied vertex to its complete
+// rebuilt neighbor list — sorted ascending, owned by the overlay from here
+// on. n and m are the vertex and undirected-edge counts of the graph the
+// new layer describes; n may exceed the base's when updates grew the vertex
+// set (vertices in [base.n, n) absent from every delta are isolated).
+func NewOverlay(prev View, n int32, m int64, delta map[int32][]int32) *Overlay {
+	o := &Overlay{delta: delta, n: n, m: m}
+	switch p := prev.(type) {
+	case *Graph:
+		o.base = p
+		o.depth = 1
+		o.dirty = len(delta)
+	case *Overlay:
+		o.base = p.base
+		o.parent = p
+		o.depth = p.depth + 1
+		o.dirty = p.dirty + len(delta)
+	default:
+		panic(fmt.Sprintf("graph: overlay base must be *Graph or *Overlay, got %T", prev))
+	}
+	return o
+}
+
+// Base returns the full CSR underneath the whole chain.
+func (o *Overlay) Base() *Graph { return o.base }
+
+// Depth returns the number of delta layers between this view and its base —
+// the chain length a Neighbors miss walks, and one of the two compaction
+// triggers.
+func (o *Overlay) Depth() int { return int(o.depth) }
+
+// DirtyVertices returns the total size of all delta layers down the chain.
+// Re-dirtied vertices count once per layer, so this is an upper bound on the
+// distinct vertices that differ from the base — cheap to maintain and good
+// enough for the dirty-ratio compaction trigger.
+func (o *Overlay) DirtyVertices() int { return o.dirty }
+
+// NumVertices returns the number of vertices.
+func (o *Overlay) NumVertices() int32 { return o.n }
+
+// NumEdges returns the number of undirected edges.
+func (o *Overlay) NumEdges() int64 { return o.m }
+
+// Neighbors returns the sorted neighbor list of v: the newest delta that
+// rebuilt v wins, otherwise the base list. Callers must not modify the
+// returned slice.
+func (o *Overlay) Neighbors(v int32) []int32 {
+	for l := o; l != nil; l = l.parent {
+		if nbrs, ok := l.delta[v]; ok {
+			return nbrs
+		}
+	}
+	if v < o.base.n {
+		return o.base.Neighbors(v)
+	}
+	return nil // grown past the base and never touched: isolated
+}
+
+// Degree returns the degree of v.
+func (o *Overlay) Degree(v int32) int32 { return int32(len(o.Neighbors(v))) }
+
+// HasEdge reports whether the undirected edge (u, v) is present, by binary
+// search of the smaller neighbor list.
+func (o *Overlay) HasEdge(u, v int32) bool {
+	if u == v || u < 0 || v < 0 || u >= o.n || v >= o.n {
+		return false
+	}
+	nu, nv := o.Neighbors(u), o.Neighbors(v)
+	if len(nu) > len(nv) {
+		nu, v = nv, u
+	}
+	return containsSorted(nu, v)
+}
+
+// MaxDegree returns the maximum degree, computed once on first demand (the
+// exact value needs a full scan — deletions may have lowered it below the
+// base's maximum).
+func (o *Overlay) MaxDegree() int32 {
+	o.maxDegOnce.Do(func() {
+		var mx int32
+		for v := int32(0); v < o.n; v++ {
+			if d := o.Degree(v); d > mx {
+				mx = d
+			}
+		}
+		o.maxDeg = mx
+	})
+	return o.maxDeg
+}
+
+// Materialize flattens the overlay into a fresh standalone CSR — the
+// compaction step. It reads only immutable state, so it runs without any
+// lock, concurrently with readers and with writers publishing further
+// layers on top; up to `workers` goroutines share the row copy.
+func (o *Overlay) Materialize(workers int) *Graph {
+	return exportCSR(o.n, o.m, o.Neighbors, workers)
+}
+
+// Rebase re-anchors the layers published after `at` onto g, which must hold
+// exactly the graph `at` described (its Materialize result). It walks the
+// chain newest-first collecting layers until it reaches `at` — the compacted
+// overlay itself or the old base — and rebuilds those layers, sharing their
+// delta maps, on the new base. ok is false when `at` is not in this chain
+// (a concurrent compaction already replaced it), in which case the caller
+// must discard g.
+func (o *Overlay) Rebase(at View, g *Graph) (v View, ok bool) {
+	var layers []*Overlay
+	cur := o
+	for View(cur) != at {
+		layers = append(layers, cur)
+		if cur.parent == nil {
+			if View(cur.base) != at {
+				return nil, false
+			}
+			break
+		}
+		cur = cur.parent
+	}
+	var nv View = g
+	for i := len(layers) - 1; i >= 0; i-- {
+		l := layers[i]
+		nv = NewOverlay(nv, l.n, l.m, l.delta)
+	}
+	return nv, true
+}
+
+// exportCSR builds an immutable CSR graph of n vertices and m undirected
+// edges from per-vertex sorted neighbor lists, sharding the row copy across
+// up to `workers` goroutines. It performs no sorting or validation — the
+// rows must already satisfy the CSR contract — and is shared by
+// DynGraph.Freeze and Overlay.Materialize.
+func exportCSR(n int32, m int64, row func(int32) []int32, workers int) *Graph {
+	offsets := make([]int64, n+1)
+	var maxDeg int32
+	for v := int32(0); v < n; v++ {
+		deg := int32(len(row(v)))
+		offsets[v+1] = offsets[v] + int64(deg)
+		if deg > maxDeg {
+			maxDeg = deg
+		}
+	}
+	adj := make([]int32, offsets[n])
+	copyRows := func(lo, hi int32) {
+		for v := lo; v < hi; v++ {
+			copy(adj[offsets[v]:offsets[v+1]], row(v))
+		}
+	}
+	if workers <= 1 || n < 1024 {
+		copyRows(0, n)
+	} else {
+		var wg sync.WaitGroup
+		chunk := (n + int32(workers) - 1) / int32(workers)
+		for lo := int32(0); lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int32) {
+				defer wg.Done()
+				copyRows(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	return &Graph{offsets: offsets, adj: adj, n: n, m: m, maxDeg: maxDeg}
+}

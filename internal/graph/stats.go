@@ -17,7 +17,7 @@ type Stats struct {
 // ComputeStats gathers Stats for g. Triangle counting uses the standard
 // oriented enumeration: each triangle is found exactly once at its
 // ≺-smallest... highest-ranked vertex, in O(Σ_v d+(v)²) ⊆ O(α·m) time.
-func ComputeStats(g *Graph) Stats {
+func ComputeStats(g View) Stats {
 	st := Stats{N: g.NumVertices(), M: g.NumEdges(), DMax: g.MaxDegree()}
 	if st.N > 0 {
 		st.AvgDeg = 2 * float64(st.M) / float64(st.N)
@@ -31,7 +31,7 @@ func ComputeStats(g *Graph) Stats {
 // CountTriangles counts triangles using the orientation o of g: for every
 // oriented edge (u, v), the common out-neighbors of u and v each close one
 // triangle, and every triangle is counted exactly once this way.
-func CountTriangles(g *Graph, o *Oriented) int64 {
+func CountTriangles(g View, o *Oriented) int64 {
 	var total int64
 	for u := int32(0); u < g.NumVertices(); u++ {
 		outU := o.OutNeighbors(u)

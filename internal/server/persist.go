@@ -79,9 +79,11 @@ func (e *entry) mirrorPersist() {
 
 // maybeCheckpoint folds the WAL into a fresh snapshot once the policy says
 // so: every ckptBatches update batches (a group commit counts each batch it
-// carried) or once the WAL passes ckptBytes. It encodes the graph of the
-// current published snapshot — which reflects every durable batch — so the
-// checkpoint costs one file write, not a CSR export. Callers hold e.mu.
+// carried) or once the WAL passes ckptBytes. The on-disk format is a full
+// CSR, unchanged by the overlay scheme: the checkpoint takes its graph from
+// the compactor — fullGraphLocked forces a synchronous compaction when the
+// served view is still an overlay chain, and the flattened CSR is
+// republished so the work also pays down the read path. Callers hold e.mu.
 func (e *entry) maybeCheckpoint(ckptBatches int, ckptBytes int64, batches int) error {
 	if e.st == nil {
 		return nil
@@ -91,7 +93,7 @@ func (e *entry) maybeCheckpoint(ckptBatches int, ckptBytes int64, batches int) e
 	if e.sinceCkpt < ckptBatches && e.st.WALBytes() < ckptBytes {
 		return nil
 	}
-	if err := e.st.Checkpoint(e.snap.Load().g, e.persistMeta(e.st.Seq())); err != nil {
+	if err := e.st.Checkpoint(e.fullGraphLocked(), e.persistMeta(e.st.Seq())); err != nil {
 		return err
 	}
 	e.sinceCkpt = 0
@@ -193,9 +195,12 @@ func (r *Registry) recoverOne(name string) (GraphInfo, error) {
 		e.applyLocked(b.Edges, b.Insert)
 	}
 	// The epoch restarts at wal-seq+1, so it keeps advancing with the
-	// batch sequence across restarts instead of snapping back to 1.
-	s := e.buildSnapshot(st.Seq() + 1)
-	s.buildDur = time.Since(t0)
+	// batch sequence across restarts instead of snapping back to 1. The
+	// recovered view is a fully compacted CSR: replay dirtied state that no
+	// previous publication exists to overlay on.
+	s := e.buildFullSnapshot(st.Seq() + 1)
+	s.publishDur = time.Since(t0)
+	e.lastCompactNs.Store(s.publishDur.Nanoseconds())
 	e.snap.Store(s)
 	e.sinceCkpt = len(rec.Tail)
 	e.mirrorPersist()

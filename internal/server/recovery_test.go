@@ -322,6 +322,7 @@ func TestRecoveryGroupCommitCrash(t *testing.T) {
 		store.CrashAfterWALAppend,  // group durable, never applied
 		crashBeforeApply,           // same durability, server-level stage
 		crashBeforePublish,         // applied in memory, snapshot never published
+		crashAfterPublish,          // overlay published, compaction/checkpoint never ran
 	}
 	errBoom := errors.New("injected crash")
 	const (

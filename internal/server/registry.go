@@ -43,26 +43,40 @@ const defaultTheta = 1.05
 
 // snapshot is the immutable unit of the epoch scheme. Readers obtain the
 // current snapshot with one atomic pointer load and then work entirely on
-// data that no writer will ever mutate: the CSR graph, the frozen score
-// vector, and a result cache that lives and dies with the snapshot (swapping
-// in a new snapshot is the cache invalidation).
+// data that no writer will ever mutate: the graph view (a full CSR for
+// epoch 1 and after compactions, a copy-on-write graph.Overlay for the
+// cheap per-drain publications in between), the chunked copy-on-write score
+// vector, and a result cache that lives and dies with the snapshot
+// (swapping in a new snapshot is the cache invalidation).
 type snapshot struct {
 	epoch  uint64
-	g      *graph.Graph
-	scores []float64 // exact CB per vertex at this epoch; nil in ModeLazy
+	view   graph.View // *graph.Graph or *graph.Overlay
+	scores *scoreVec  // exact CB per vertex at this epoch; nil in ModeLazy
 
-	// buildDur is how long this snapshot took to construct (the initial
-	// all-vertices computation for epoch 1, the CSR export for later
-	// epochs) and buildWorkers the worker budget it was built with — both
-	// surfaced through GraphInfo so operators can see the parallel build
-	// paying off.
-	buildDur     time.Duration
+	// publishDur is how long this snapshot's publication took (the initial
+	// all-vertices computation for epoch 1, the O(batch) overlay
+	// publication for later epochs) and buildWorkers the worker budget the
+	// entry compacts and freezes with — both surfaced through GraphInfo.
+	publishDur   time.Duration
 	buildWorkers int
 
 	cache      sync.Map     // cacheKey -> []ego.Result
 	cacheCount atomic.Int64 // entries stored, enforcing maxCacheEntries
 	statsOnce  sync.Once
 	stats      graph.Stats
+}
+
+// withView copies the snapshot's identity — epoch, scores, publication
+// telemetry — onto a different view of the same graph. Compaction uses it
+// to swap an overlay for its flattened CSR without changing what the
+// snapshot answers. The result cache starts empty (sync.Map is not
+// copyable); the entries were computed against an equivalent view, but
+// re-deriving them is cheaper than a cache scheme that outlives snapshots.
+func (s *snapshot) withView(v graph.View) *snapshot {
+	return &snapshot{
+		epoch: s.epoch, view: v, scores: s.scores,
+		publishDur: s.publishDur, buildWorkers: s.buildWorkers,
+	}
 }
 
 // maxCacheEntries caps a snapshot's result cache. The key space is
@@ -98,8 +112,15 @@ type cacheKey struct {
 // Stats returns the Table-I style statistics of the snapshot, computed once
 // per epoch on first demand.
 func (s *snapshot) Stats() graph.Stats {
-	s.statsOnce.Do(func() { s.stats = graph.ComputeStats(s.g) })
+	s.statsOnce.Do(func() { s.stats = graph.ComputeStats(s.view) })
 	return s.stats
+}
+
+// overlay returns the snapshot's view as an overlay, or nil when it is a
+// full CSR.
+func (s *snapshot) overlay() *graph.Overlay {
+	ov, _ := s.view.(*graph.Overlay)
+	return ov
 }
 
 // Acknowledgment modes for edge-update batches (DESIGN.md §9).
@@ -155,6 +176,14 @@ type entry struct {
 	mode    string
 	workers int // snapshot-build worker budget (≥ 1)
 
+	// Compaction policy (DESIGN.md §10): flatten the overlay chain into a
+	// fresh base CSR once its depth or its dirty-vertex share of n crosses
+	// these bounds. The compactor runs in its own goroutine, off the write
+	// path; compacting serializes it (one flatten at a time).
+	maxDepth   int
+	dirtyRatio float64
+	compacting atomic.Bool
+
 	snap atomic.Pointer[snapshot]
 
 	// The admission queue. qmu guards qclosed against concurrent enqueues
@@ -208,6 +237,14 @@ type entry struct {
 	coalescedBatches atomic.Int64
 	writeRejects     atomic.Int64
 
+	// Snapshot-publication accounting (DESIGN.md §10): compactions folded
+	// (background or checkpoint-forced), the last compaction's wall-clock,
+	// and the score entries the copy-on-write vector materialized across
+	// all drains (chunk granularity — a drain that changed nothing adds 0).
+	compactions   atomic.Int64
+	lastCompactNs atomic.Int64
+	scoresCopied  atomic.Int64
+
 	// Lock-free mirrors of the store's accounting, refreshed after every
 	// durable operation so GraphInfo never has to take mu.
 	walSeq   atomic.Uint64
@@ -243,6 +280,15 @@ const (
 // size cap unless WithGroupLimit lowers it) and the coalescing window.
 const defaultWriteQueue = 128
 
+// Default compaction policy: flatten the overlay chain once it is this many
+// layers deep or once its dirty vertices reach this share of n, whichever
+// trips first. Depth bounds the chain walk a read pays on a delta miss;
+// the ratio bounds the memory the deltas duplicate.
+const (
+	defaultCompactDepth = 8
+	defaultCompactDirty = 0.25
+)
+
 // Registry is a named collection of served graphs. Lookup is guarded by a
 // read-write mutex; everything per-graph uses the entry's own scheme.
 type Registry struct {
@@ -254,6 +300,10 @@ type Registry struct {
 	queueCap int
 	flush    time.Duration
 	maxGroup int
+
+	// Overlay compaction policy (DESIGN.md §10).
+	compactDepth int
+	compactDirty float64
 
 	// Persistence (DESIGN.md §8). Empty dataDir means in-memory only.
 	dataDir     string
@@ -332,6 +382,24 @@ func WithGroupLimit(n int) RegistryOption {
 	}
 }
 
+// WithCompactPolicy sets when a graph's overlay chain is flattened into a
+// fresh base CSR by the background compactor: once the chain is maxDepth
+// layers deep, or once the dirty vertices across the chain reach dirtyRatio
+// of the vertex count, whichever trips first. Non-positive values keep the
+// defaults (depth 8, ratio 0.25). Depth 1 compacts after every drain —
+// useful to benchmark the pre-overlay behavior, since every read then runs
+// on a full CSR.
+func WithCompactPolicy(maxDepth int, dirtyRatio float64) RegistryOption {
+	return func(r *Registry) {
+		if maxDepth > 0 {
+			r.compactDepth = maxDepth
+		}
+		if dirtyRatio > 0 {
+			r.compactDirty = dirtyRatio
+		}
+	}
+}
+
 // WithCrashHook installs a crash-injection hook on every graph store,
 // invoked at each durability point with the graph name; a non-nil return
 // aborts the operation exactly there, leaving the files as a real crash
@@ -360,6 +428,12 @@ func NewRegistry(opts ...RegistryOption) *Registry {
 	if r.maxGroup <= 0 || r.maxGroup > r.queueCap {
 		r.maxGroup = r.queueCap
 	}
+	if r.compactDepth <= 0 {
+		r.compactDepth = defaultCompactDepth
+	}
+	if r.compactDirty <= 0 {
+		r.compactDirty = defaultCompactDirty
+	}
 	return r
 }
 
@@ -368,10 +442,12 @@ func NewRegistry(opts ...RegistryOption) *Registry {
 func (r *Registry) newEntry(name, mode string) *entry {
 	return &entry{
 		name: name, mode: mode, workers: r.workers,
-		queue:    make(chan *writeReq, r.queueCap),
-		stopped:  make(chan struct{}),
-		flush:    r.flush,
-		maxGroup: r.maxGroup,
+		maxDepth:   r.compactDepth,
+		dirtyRatio: r.compactDirty,
+		queue:      make(chan *writeReq, r.queueCap),
+		stopped:    make(chan struct{}),
+		flush:      r.flush,
+		maxGroup:   r.maxGroup,
 	}
 }
 
@@ -429,18 +505,21 @@ func (r *Registry) Add(name string, g *graph.Graph, mode string, lazyK int) (Gra
 	}
 
 	e := r.newEntry(name, mode)
-	first := &snapshot{epoch: 1, g: g, buildWorkers: e.workers}
+	first := &snapshot{epoch: 1, view: g, buildWorkers: e.workers}
 	t0 := time.Now()
 	if mode == ModeLocal {
 		e.local = dynamic.NewMaintainerParallel(g, e.workers)
-		first.scores = append([]float64(nil), e.local.All()...)
+		first.scores = newScoreVec(e.local.All())
 	} else {
 		if lazyK < 1 {
 			lazyK = 10
 		}
 		e.lazy = dynamic.NewLazyTopKParallel(g, lazyK, e.workers)
 	}
-	first.buildDur = time.Since(t0)
+	first.publishDur = time.Since(t0)
+	// The initial all-vertices build is the moral equivalent of a
+	// compaction: it produced the base CSR every later overlay sits on.
+	e.lastCompactNs.Store(first.publishDur.Nanoseconds())
 	e.snap.Store(first)
 
 	r.mu.Lock()
@@ -532,10 +611,17 @@ func (e *entry) enqueue(req *writeReq) error {
 	}
 }
 
-// GraphInfo summarizes one served graph. SnapshotBuildMS is how long the
-// currently served snapshot took to build — the initial all-vertices
-// computation for epoch 1, the CSR export inside the write lock for later
-// epochs — and BuildWorkers the worker budget that built it.
+// GraphInfo summarizes one served graph.
+//
+// PublishMS is how long the currently served snapshot's publication took:
+// the initial all-vertices computation for epoch 1, the O(batch) overlay
+// publication inside the write lock for later epochs. CompactMS is the last
+// compaction's wall-clock — the O(n+m) flatten of the overlay chain into a
+// fresh base CSR, run off the write path (or forced synchronously by a
+// checkpoint). SnapshotBuildMS is kept for compatibility and mirrors
+// CompactMS, which is what the pre-overlay field measured (a full CSR
+// export per drain). BuildWorkers is the worker budget compactions and
+// freezes shard across.
 type GraphInfo struct {
 	Name            string  `json:"name"`
 	Mode            string  `json:"mode"`
@@ -544,7 +630,20 @@ type GraphInfo struct {
 	M               int64   `json:"m"`
 	LazyK           int     `json:"lazy_k,omitempty"`
 	BuildWorkers    int     `json:"build_workers"`
-	SnapshotBuildMS float64 `json:"snapshot_build_ms"`
+	PublishMS       float64 `json:"publish_ms"`
+	CompactMS       float64 `json:"compact_ms"`
+	SnapshotBuildMS float64 `json:"snapshot_build_ms"` // deprecated alias of compact_ms
+
+	// Overlay accounting (DESIGN.md §10): how many delta layers the served
+	// view stacks on its base CSR (0 = fully compacted), the dirty-vertex
+	// total across those layers, how many compactions have folded the chain
+	// since this process opened the graph, and how many score entries the
+	// ModeLocal copy-on-write vector materialized across all drains (chunk
+	// granularity; a drain that changed no score adds 0).
+	OverlayDepth  int   `json:"overlay_depth"`
+	DirtyVertices int   `json:"dirty_vertices,omitempty"`
+	Compactions   int64 `json:"compactions"`
+	ScoresCopied  int64 `json:"scores_copied,omitempty"`
 
 	// Write-pipeline accounting (DESIGN.md §9): the admission queue's
 	// capacity and current depth, how many group commits the writer
@@ -575,16 +674,25 @@ func (e *entry) info() GraphInfo {
 // infoAt summarizes the entry against one specific snapshot, so callers that
 // already hold a snapshot report a single consistent epoch.
 func (e *entry) infoAt(s *snapshot) GraphInfo {
+	compactMS := float64(e.lastCompactNs.Load()) / 1e6
 	gi := GraphInfo{
 		Name: e.name, Mode: e.mode, Epoch: s.epoch,
-		N: s.g.NumVertices(), M: s.g.NumEdges(),
+		N: s.view.NumVertices(), M: s.view.NumEdges(),
 		BuildWorkers:     s.buildWorkers,
-		SnapshotBuildMS:  float64(s.buildDur.Microseconds()) / 1000,
+		PublishMS:        float64(s.publishDur.Microseconds()) / 1000,
+		CompactMS:        compactMS,
+		SnapshotBuildMS:  compactMS,
+		Compactions:      e.compactions.Load(),
+		ScoresCopied:     e.scoresCopied.Load(),
 		WriteQueueCap:    cap(e.queue),
 		WriteQueueDepth:  len(e.queue),
 		GroupCommits:     e.groupCommits.Load(),
 		CoalescedBatches: e.coalescedBatches.Load(),
 		WriteRejects:     e.writeRejects.Load(),
+	}
+	if ov := s.overlay(); ov != nil {
+		gi.OverlayDepth = ov.Depth()
+		gi.DirtyVertices = ov.DirtyVertices()
 	}
 	if e.lazy != nil {
 		gi.LazyK = e.lazy.K()
@@ -683,7 +791,7 @@ func (r *Registry) TopK(name string, k int, algo string, theta float64) (TopKRes
 	// Clamp k to the vertex count: k sizes result-set allocations all the
 	// way down (topk.NewBounded and the search algorithms), so an absurd
 	// query parameter must not translate into an absurd allocation.
-	if n := int(snap.g.NumVertices()); k > n {
+	if n := int(snap.view.NumVertices()); k > n {
 		k = n
 	}
 	if algo == "" || algo == AlgoAuto {
@@ -723,11 +831,11 @@ func (r *Registry) TopK(name string, k int, algo string, theta float64) (TopKRes
 		if snap.scores == nil {
 			return TopKResult{}, fmt.Errorf("server: algo %q needs mode %q (graph %q is %q)", AlgoScores, ModeLocal, name, e.mode)
 		}
-		res = ego.TopKOfScores(snap.scores, k)
+		res = ego.TopKOf(snap.scores.Len(), snap.scores.At, k)
 	case AlgoOpt:
-		res, _ = ego.OptBSearch(snap.g, k, theta)
+		res, _ = ego.OptBSearch(snap.view, k, theta)
 	case AlgoBase:
-		res, _ = ego.BaseBSearch(snap.g, k)
+		res, _ = ego.BaseBSearch(snap.view, k)
 	case AlgoLazy:
 		if e.lazy == nil {
 			return TopKResult{}, fmt.Errorf("server: algo %q needs mode %q (graph %q is %q)", AlgoLazy, ModeLazy, name, e.mode)
@@ -791,18 +899,18 @@ func (r *Registry) EgoBetweenness(name string, v int32) (VertexResult, error) {
 		return VertexResult{}, err
 	}
 	snap := e.snap.Load()
-	if v < 0 || v >= snap.g.NumVertices() {
-		return VertexResult{}, fmt.Errorf("server: vertex %d out of range [0,%d)", v, snap.g.NumVertices())
+	if v < 0 || v >= snap.view.NumVertices() {
+		return VertexResult{}, fmt.Errorf("server: vertex %d out of range [0,%d)", v, snap.view.NumVertices())
 	}
 	var cb float64
 	if snap.scores != nil {
-		cb = snap.scores[v]
+		cb = snap.scores.At(v)
 	} else {
 		s := egoScratch.Get().(*ego.Scratch)
-		cb = ego.EgoBetweenness(snap.g, v, s)
+		cb = ego.EgoBetweenness(snap.view, v, s)
 		egoScratch.Put(s)
 	}
-	d := snap.g.Degree(v)
+	d := snap.view.Degree(v)
 	return VertexResult{Graph: e.name, Epoch: snap.epoch, V: v, CB: cb, Degree: d, Bound: ego.StaticUB(d)}, nil
 }
 
@@ -944,10 +1052,13 @@ func (e *entry) collectGroup(first *writeReq) []*writeReq {
 // in-memory stages of the group commit. The crash-recovery harness uses
 // them to kill the pipeline after the group WAL append but before the apply
 // or the snapshot publication — batches that are durable but were never
-// applied (or never served) must still be recovered.
+// applied (or never served) must still be recovered — and between the
+// overlay publication and the compaction/checkpoint that would have
+// followed, proving recovery never depends on a compaction having run.
 const (
 	crashBeforeApply   = "server-before-apply"
 	crashBeforePublish = "server-before-publish"
+	crashAfterPublish  = "server-after-publish"
 )
 
 // serverCrash fires the registry-level crash hook at a pipeline point.
@@ -1007,7 +1118,8 @@ func (e *entry) commitGroup(r *Registry, group []*writeReq) {
 		applied += req.res.Applied
 	}
 
-	// One snapshot publication for the whole group.
+	// One snapshot publication for the whole group: an O(batch) overlay on
+	// the previous view, never a full CSR export (the compactor owns those).
 	old := e.snap.Load()
 	epoch := old.epoch
 	if applied > 0 {
@@ -1016,7 +1128,11 @@ func (e *entry) commitGroup(r *Registry, group []*writeReq) {
 			return
 		}
 		epoch = old.epoch + 1
-		e.snap.Store(e.buildSnapshot(epoch))
+		e.publishLocked(epoch)
+		if err := r.serverCrash(e.name, crashAfterPublish); err != nil {
+			e.abortGroup(group, err)
+			return
+		}
 	}
 	for _, req := range group {
 		req.res.Epoch = epoch
@@ -1024,7 +1140,12 @@ func (e *entry) commitGroup(r *Registry, group []*writeReq) {
 	e.groupCommits.Add(1)
 	e.coalescedBatches.Add(int64(len(group)))
 
+	// Checkpoint before the compaction check: a checkpoint that fires on
+	// this drain forces its own synchronous flatten (fullGraphLocked), after
+	// which the chain is gone and the background trigger no-ops — the other
+	// order would materialize the same chain twice.
 	ckErr := e.maybeCheckpoint(r.ckptBatches, r.ckptBytes, len(group))
+	e.maybeCompactLocked()
 	e.mu.Unlock()
 
 	var groupErr error
@@ -1100,23 +1221,135 @@ func (e *entry) applyLocked(edges [][2]int32, insert bool) UpdateResult {
 	return res
 }
 
-// buildSnapshot freezes the maintainer's current graph (and, in ModeLocal,
-// its exact scores) into a fresh immutable snapshot, sharding the CSR
-// export across the entry's worker budget — this runs inside the write
-// lock, so its latency is the write-batch publication latency. Callers must
-// hold e.mu.
-func (e *entry) buildSnapshot(epoch uint64) *snapshot {
+// dyn returns the maintainer's mutable graph.
+func (e *entry) dyn() *graph.DynGraph {
+	if e.local != nil {
+		return e.local.Graph()
+	}
+	return e.lazy.Graph()
+}
+
+// publishLocked publishes the post-drain state as a copy-on-write snapshot:
+// a graph.Overlay carrying only the adjacency lists this drain dirtied,
+// layered on the previous view, and (in ModeLocal) a score vector sharing
+// every chunk no score of which changed. Both costs are O(batch), so the
+// write lock holds publication latency independent of the graph size — the
+// O(n+m) work moved to the background compactor. Callers must hold e.mu.
+func (e *entry) publishLocked(epoch uint64) {
 	t0 := time.Now()
-	var dyn *graph.DynGraph
+	old := e.snap.Load()
+	s := &snapshot{epoch: epoch, view: e.dyn().FreezeOverlay(old.view), buildWorkers: e.workers}
 	if e.local != nil {
-		dyn = e.local.Graph()
-	} else {
-		dyn = e.lazy.Graph()
+		sv, copied := old.scores.withUpdates(e.local.All(), e.local.TakeDirtyScores())
+		s.scores = sv
+		if copied > 0 {
+			e.scoresCopied.Add(int64(copied) * scoreChunkSize)
+		}
 	}
-	s := &snapshot{epoch: epoch, g: dyn.Freeze(e.workers), buildWorkers: e.workers}
+	s.publishDur = time.Since(t0)
+	e.snap.Store(s)
+}
+
+// buildFullSnapshot freezes the maintainer's current graph (and, in
+// ModeLocal, its exact scores) into a fully compacted snapshot — a
+// standalone CSR, no overlay. Recovery uses it to seed the first published
+// view; the steady-state write path publishes overlays instead. It resets
+// the maintainer's dirty tracking, which the freeze subsumes. Callers must
+// hold e.mu or own the entry exclusively.
+func (e *entry) buildFullSnapshot(epoch uint64) *snapshot {
+	t0 := time.Now()
+	dyn := e.dyn()
+	dyn.TakeDirty()
+	s := &snapshot{epoch: epoch, view: dyn.Freeze(e.workers), buildWorkers: e.workers}
 	if e.local != nil {
-		s.scores = append([]float64(nil), e.local.All()...)
+		e.local.TakeDirtyScores()
+		s.scores = newScoreVec(e.local.All())
 	}
-	s.buildDur = time.Since(t0)
+	s.publishDur = time.Since(t0)
+	e.lastCompactNs.Store(s.publishDur.Nanoseconds())
 	return s
+}
+
+// maybeCompactLocked checks the compaction policy against the just-published
+// view and, when it trips, hands the flatten to a background goroutine — at
+// most one per entry at a time. Callers hold e.mu; the compactor itself
+// takes e.mu only for the final swap.
+func (e *entry) maybeCompactLocked() {
+	s := e.snap.Load()
+	ov := s.overlay()
+	if ov == nil {
+		return
+	}
+	n := int(ov.NumVertices())
+	if ov.Depth() < e.maxDepth && (n == 0 || float64(ov.DirtyVertices()) < e.dirtyRatio*float64(n)) {
+		return
+	}
+	if e.compacting.Swap(true) {
+		return // a flatten is already in flight; it will cover these layers
+	}
+	go e.compact(s)
+}
+
+// compact flattens the overlay chain of snap into a fresh base CSR and
+// republishes. The O(n+m) Materialize reads only immutable state, so it
+// runs with no lock held — readers keep reading, the writer keeps
+// publishing layers on top. The swap then happens under e.mu: if the
+// published snapshot is still snap, its view is simply replaced; if drains
+// landed meanwhile, the layers they stacked on top are re-anchored onto the
+// new base (sharing their delta maps), so their O(batch) publications
+// survive the compaction. Epoch and scores are untouched — the graph the
+// snapshot answers for is identical, only its representation changed.
+func (e *entry) compact(snap *snapshot) {
+	ov := snap.overlay()
+	if ov == nil {
+		e.compacting.Store(false)
+		return
+	}
+	t0 := time.Now()
+	g := ov.Materialize(e.workers)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.compacting.Store(false)
+	if e.removed {
+		return
+	}
+	// Whatever happens below, drains may have stacked further layers while
+	// this flatten ran (including on a checkpoint-forced base that makes
+	// the Rebase miss) — re-check the policy on the way out so a too-deep
+	// chain cannot outlive the last drain.
+	defer e.maybeCompactLocked()
+	cur := e.snap.Load()
+	var nview graph.View
+	if cur == snap {
+		nview = g
+	} else if curOv := cur.overlay(); curOv != nil {
+		v, ok := curOv.Rebase(snap.view, g)
+		if !ok {
+			return // a checkpoint-forced compaction already replaced the chain
+		}
+		nview = v
+	} else {
+		return // already a full CSR
+	}
+	e.snap.Store(cur.withView(nview))
+	e.compactions.Add(1)
+	e.lastCompactNs.Store(time.Since(t0).Nanoseconds())
+}
+
+// fullGraphLocked returns the full CSR of the published snapshot, forcing a
+// synchronous compaction when the served view is an overlay — checkpoints
+// need a standalone CSR for the unchanged on-disk format, and reusing the
+// forced flatten as the published view means the work is paid once. Callers
+// must hold e.mu.
+func (e *entry) fullGraphLocked() *graph.Graph {
+	s := e.snap.Load()
+	if g, ok := s.view.(*graph.Graph); ok {
+		return g
+	}
+	t0 := time.Now()
+	g := s.overlay().Materialize(e.workers)
+	e.snap.Store(s.withView(g))
+	e.compactions.Add(1)
+	e.lastCompactNs.Store(time.Since(t0).Nanoseconds())
+	return g
 }
