@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-pr5 bench-figs bench-smoke fuzz-smoke cover serve fmt lint vet clean
+.PHONY: build test bench bench-pr5 bench-pr6 bench-figs bench-smoke fuzz-smoke cover serve fmt lint vet clean
 
 build:
 	$(GO) build ./...
@@ -12,14 +12,19 @@ test: vet
 
 # Bench-regression harness: machine-readable ns/op for the hot paths
 # (ComputeAll, OptBSearch, Maintainer.InsertEdge, snapshot build, the
-# PR 3 persistence costs, the PR 4 write-throughput rows, and the PR 5
+# PR 3 persistence costs, the PR 4 write-throughput rows, the PR 5
 # snapshot-publication rows: full-freeze vs copy-on-write overlay at
-# 1/16/256-edge batches, plus the background compaction cost), written to
-# BENCH_PR5.json so the perf trajectory is tracked across PRs.
-bench: bench-pr5
+# 1/16/256-edge batches, plus the background compaction cost, and the
+# PR 6 instant-recovery rows: state-carrying checkpoints and fast vs
+# rebuild restart), written to BENCH_PR6.json so the perf trajectory is
+# tracked across PRs.
+bench: bench-pr6
 
 bench-pr5: build
 	$(GO) run ./cmd/benchtab -prbench BENCH_PR5.json
+
+bench-pr6: build
+	$(GO) run ./cmd/benchtab -prbench BENCH_PR6.json
 
 # Regenerate the paper's tables and figures (quick grids; -full for the
 # paper's grids). See EXPERIMENTS.md.
@@ -32,11 +37,13 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./...
 
 # Short fuzz runs of the persistence decoders (internal/store). `go test`
-# accepts one -fuzz pattern per invocation, hence two runs. CI runs this
-# non-gating, like bench-smoke; crank -fuzztime up for a real session.
+# accepts one -fuzz pattern per invocation, hence one run per target. CI
+# runs this non-gating, like bench-smoke; crank -fuzztime up for a real
+# session.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/store -run '^$$' -fuzz FuzzDecodeSnapshot -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/store -run '^$$' -fuzz FuzzDecodeMaintainerState -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/store -run '^$$' -fuzz FuzzDecodeWAL -fuzztime $(FUZZTIME)
 
 # Coverage profile over every package (atomic mode so it composes with

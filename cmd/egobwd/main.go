@@ -38,6 +38,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -107,8 +108,12 @@ func setup(cfg config) (*server.Server, error) {
 			return nil, fmt.Errorf("recover %s: %w", cfg.dataDir, err)
 		}
 		for _, info := range infos {
-			log.Printf("egobwd: recovered %q mode=%s n=%d m=%d wal_seq=%d snapshot_seq=%d",
-				info.Name, info.Mode, info.N, info.M, info.WALSeq, info.SnapshotSeq)
+			line := fmt.Sprintf("egobwd: recovered %q mode=%s n=%d m=%d wal_seq=%d snapshot_seq=%d recover_path=%s",
+				info.Name, info.Mode, info.N, info.M, info.WALSeq, info.SnapshotSeq, info.RecoverPath)
+			if info.RecoverReason != "" {
+				line += " reason=" + strconv.Quote(info.RecoverReason)
+			}
+			log.Print(line)
 		}
 	}
 

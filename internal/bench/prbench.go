@@ -3,6 +3,7 @@ package bench
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -46,6 +47,17 @@ type PRBenchEntry struct {
 	StoreWALAppendNs      int64 `json:"store_wal_append_sync_ns_op"`
 	StoreCheckpointNs     int64 `json:"store_checkpoint_ns"`
 	StoreRecoverNs        int64 `json:"store_recover_ns"`
+
+	// Instant recovery (PR 6, versioned maintainer-state snapshots): the
+	// bytes the state section adds to a checkpoint, the cost of a
+	// state-carrying checkpoint, and the fast restart path — snapshot load +
+	// state import (no recompute) + the same 200-batch WAL tail replay the
+	// rebuild row pays. The speedup is store_recover_ns over
+	// store_recover_fast_ns: what the state section buys at boot.
+	StoreStateBytes        int64   `json:"store_state_bytes"`
+	StoreCheckpointStateNs int64   `json:"store_checkpoint_state_ns"`
+	StoreRecoverFastNs     int64   `json:"store_recover_fast_ns"`
+	StoreRecoverSpeedup    float64 `json:"store_recover_speedup"`
 
 	// Write throughput (PR 4, the group-commit pipeline): durable-ack
 	// batches/sec through a durable serving registry. The serialized row
@@ -203,11 +215,8 @@ func measureStore(e *PRBenchEntry, g *graph.Graph, edges [][2]int32) {
 		must(err)
 	}
 	must(st.Close())
-	e.StoreRecoverNs = int64(timeIt(func() {
-		st2, rec, err := store.Open(filepath.Join(dir, "g"))
-		must(err)
-		m := dynamic.NewMaintainer(rec.Graph)
-		for _, b := range rec.Tail {
+	replayTail := func(m *dynamic.Maintainer, tail []store.Batch) {
+		for _, b := range tail {
 			for _, ed := range b.Edges {
 				if b.Insert {
 					must(m.InsertEdge(ed[0], ed[1]))
@@ -216,8 +225,64 @@ func measureStore(e *PRBenchEntry, g *graph.Graph, edges [][2]int32) {
 				}
 			}
 		}
+	}
+	// Recovery is timed as the best of a few runs with a GC between them: a
+	// single cold shot on a shared host folds unrelated GC pauses and page-
+	// cache state into a one-time measurement, and both recovery rows (here
+	// and the fast path below) get the identical treatment.
+	recoverBest := func(recover func()) int64 {
+		best := int64(math.MaxInt64)
+		for i := 0; i < 3; i++ {
+			runtime.GC()
+			if t := int64(timeIt(recover)); t < best {
+				best = t
+			}
+		}
+		return best
+	}
+	e.StoreRecoverNs = recoverBest(func() {
+		st2, rec, err := store.Open(filepath.Join(dir, "g"))
+		must(err)
+		replayTail(dynamic.NewMaintainer(rec.Graph), rec.Tail)
 		must(st2.Close())
+	})
+
+	// The fast path (PR 6): an identically shaped store whose checkpoint
+	// carries the maintainer state, so recovery imports it instead of
+	// recomputing. The tail is the same 200 delete batches, replayed through
+	// the same code — only the maintainer construction differs.
+	mm := dynamic.NewMaintainer(g)
+	mState := &store.MaintainerState{Local: mm.ExportState()}
+	e.StoreStateBytes = int64(len(store.EncodeSnapshotWithState(g, meta, mState))) - int64(len(enc))
+	stf, err := store.Create(filepath.Join(dir, "gf"), g, meta)
+	must(err)
+	for _, ed := range edges {
+		_, err := stf.AppendBatch(false, [][2]int32{ed})
+		must(err)
+	}
+	e.StoreCheckpointStateNs = int64(timeIt(func() {
+		must(stf.CheckpointWithState(g, store.SnapshotMeta{Seq: stf.Seq()}, mState))
 	}))
+	for _, ed := range edges {
+		_, err := stf.AppendBatch(false, [][2]int32{ed})
+		must(err)
+	}
+	must(stf.Close())
+	e.StoreRecoverFastNs = recoverBest(func() {
+		st2, rec, err := store.Open(filepath.Join(dir, "gf"))
+		must(err)
+		if rec.State == nil || rec.State.Local == nil {
+			panic("prbench: checkpointed maintainer state missing at recovery")
+		}
+		must(rec.StateErr)
+		m2, err := dynamic.NewMaintainerFromState(rec.Graph, rec.State.Local)
+		must(err)
+		replayTail(m2, rec.Tail)
+		must(st2.Close())
+	})
+	if e.StoreRecoverFastNs > 0 {
+		e.StoreRecoverSpeedup = float64(e.StoreRecoverNs) / float64(e.StoreRecoverFastNs)
+	}
 }
 
 // measurePublish times snapshot publication on dataset graph g at small,

@@ -1,0 +1,247 @@
+package dynamic
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/ego"
+	"repro/internal/graph"
+	"repro/internal/nbr"
+	"repro/internal/pairmap"
+)
+
+// This file is the maintainer-state export/import seam of the durability
+// layer (DESIGN.md §11): everything a Maintainer or LazyTopK holds beyond the
+// graph itself, flattened into plain slices a binary codec can frame, and the
+// inverse constructors that restore a maintainer from those slices in O(load)
+// — no score recomputation, no evidence rehashing. The serving layer exports
+// at checkpoint time and imports at recovery time; round-tripping reproduces
+// the paper's invariants exactly because the evidence tables travel verbatim
+// (slot arrays included), so a recovered maintainer is bit-for-bit the
+// in-memory state of a process that never crashed.
+
+// LocalState is the flattened state of an exact Maintainer (ModeLocal): the
+// score vector, every vertex's evidence table dumped slot-for-slot, and the
+// dirty-score bookkeeping of the copy-on-write publication path.
+type LocalState struct {
+	// Scores is the exact ego-betweenness vector (length n).
+	Scores []float64
+	// TableSizes[v] is the slot count of v's evidence table (0 = no table
+	// was ever allocated for v).
+	TableSizes []uint32
+	// Keys and Vals are the raw open-addressing slot arrays of every
+	// allocated table, concatenated in vertex order; each table occupies
+	// TableSizes[v] consecutive slots. Empty and tombstone slots travel
+	// too — that is what makes import rehash-free.
+	Keys []uint64
+	Vals []int32
+	// Dirty lists the vertices with score changes not yet drained by
+	// TakeDirtyScores, deduplicated.
+	Dirty []int32
+}
+
+// LazyState is the flattened state of a LazyTopK (ModeLazy): cached scores,
+// staleness flags, and the result-set membership. The candidate heap is not
+// persisted — every valid heap entry of a non-member v is (v, cached[v]), so
+// import rebuilds it canonically from the cache (see NewLazyTopKFromState).
+type LazyState struct {
+	Cached  []float64
+	Stale   []bool
+	Members []int32
+}
+
+// ExportState flattens the maintainer's full update state. Scores, Keys, and
+// Vals alias live internal storage where possible, so the snapshot is only
+// consistent until the next InsertEdge/DeleteEdge/TakeDirtyScores — callers
+// encode (or copy) before releasing the lock that serialized the export.
+func (m *Maintainer) ExportState() *LocalState {
+	st := &LocalState{
+		Scores:     m.cb,
+		TableSizes: make([]uint32, len(m.s)),
+		Dirty:      append([]int32(nil), m.dirtyCB...),
+	}
+	total := 0
+	for _, s := range m.s {
+		if s != nil {
+			keys, _ := s.Table()
+			total += len(keys)
+		}
+	}
+	st.Keys = make([]uint64, 0, total)
+	st.Vals = make([]int32, 0, total)
+	for v, s := range m.s {
+		if s == nil {
+			continue
+		}
+		keys, vals := s.Table()
+		st.TableSizes[v] = uint32(len(keys))
+		st.Keys = append(st.Keys, keys...)
+		st.Vals = append(st.Vals, vals...)
+	}
+	return st
+}
+
+// NewMaintainerFromState restores an exact Maintainer over g from an exported
+// LocalState, taking ownership of the state's slices. The evidence tables are
+// adopted slot-for-slot (each table is a sub-slice of the flat arrays), so
+// the cost is one validation scan over the state — O(load) — instead of the
+// O(Σ|GE(v)|²) recomputation of NewMaintainer. Structural corruption returns
+// an error; callers fall back to the rebuild path.
+func NewMaintainerFromState(g *graph.Graph, st *LocalState) (*Maintainer, error) {
+	n := g.NumVertices()
+	if int32(len(st.Scores)) != n || int32(len(st.TableSizes)) != n {
+		return nil, fmt.Errorf("dynamic: state covers %d scores / %d tables, graph has %d vertices",
+			len(st.Scores), len(st.TableSizes), n)
+	}
+	if len(st.Keys) != len(st.Vals) {
+		return nil, fmt.Errorf("dynamic: state has %d key slots, %d value slots", len(st.Keys), len(st.Vals))
+	}
+	for v, cb := range st.Scores {
+		// Incremental maintenance can leave a true-zero score at a tiny
+		// negative residue, so only non-finite values are structural
+		// corruption here.
+		if math.IsNaN(cb) || math.IsInf(cb, 0) {
+			return nil, fmt.Errorf("dynamic: score of vertex %d is %v", v, cb)
+		}
+	}
+	maps := make([]*pairmap.Map, n)
+	// Serial framing pass: which vertices own a table and where each table
+	// starts in the flat slot arrays. The per-slot validation below is the
+	// expensive part, so it is the part that shards.
+	tableVertex := make([]int32, 0, n)
+	tableOff := make([]int, 0, n)
+	off := 0
+	for v := int32(0); v < n; v++ {
+		size := int(st.TableSizes[v])
+		if size == 0 {
+			continue
+		}
+		if size > len(st.Keys)-off {
+			return nil, fmt.Errorf("dynamic: evidence table of vertex %d overruns the slot arrays", v)
+		}
+		tableVertex = append(tableVertex, v)
+		tableOff = append(tableOff, off)
+		off += size
+	}
+	if off != len(st.Keys) {
+		return nil, fmt.Errorf("dynamic: %d slot(s) beyond the last evidence table", len(st.Keys)-off)
+	}
+	// One slab for every Map header (at hundreds of thousands of per-vertex
+	// tables, individual allocations would dominate the import), validated
+	// and adopted in parallel: tables are disjoint sub-slices of the flat
+	// arrays and each worker owns a contiguous range of them, so the only
+	// coordination is the join. This scan is the O(load) of the fast boot
+	// path — sharding it is what keeps recovery at memory-bandwidth speed.
+	slab := make([]pairmap.Map, len(tableVertex))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tableVertex) {
+		workers = len(tableVertex)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := len(tableVertex) * w / workers
+		hi := len(tableVertex) * (w + 1) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				v, start := tableVertex[i], tableOff[i]
+				end := start + int(st.TableSizes[v])
+				// Full slice expressions cap capacity so a table growing
+				// in place can never scribble over its successor's slots.
+				if err := slab[i].ResetFromTable(st.Keys[start:end:end], st.Vals[start:end:end], n); err != nil {
+					errs[w] = fmt.Errorf("dynamic: evidence table of vertex %d: %w", v, err)
+					return
+				}
+				maps[v] = &slab[i]
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	m := &Maintainer{
+		g: graph.DynFromGraph(g), s: maps, cb: st.Scores,
+		reg:      nbr.NewRegister(n),
+		dirtySet: make([]bool, n),
+	}
+	for _, v := range st.Dirty {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("dynamic: dirty-score vertex %d out of range", v)
+		}
+		if !m.dirtySet[v] {
+			m.dirtySet[v] = true
+			m.dirtyCB = append(m.dirtyCB, v)
+		}
+	}
+	return m, nil
+}
+
+// ExportState flattens the lazy maintainer's state. Cached and Stale alias
+// live internal storage, so the snapshot is only consistent until the next
+// update or query — encode before releasing the serializing lock.
+func (lt *LazyTopK) ExportState() *LazyState {
+	return &LazyState{
+		Cached:  lt.cached,
+		Stale:   lt.stale,
+		Members: append([]int32(nil), lt.members...),
+	}
+}
+
+// NewLazyTopKFromState restores a LazyTopK over g from an exported LazyState,
+// taking ownership of the state's slices. The candidate heap is rebuilt
+// canonically — one entry (v, cached[v]) per non-member — which is exactly
+// the set of valid entries a live heap carries (every cache change of a
+// non-member pushes the new value, superseding older entries), so recovery
+// preserves the upper/lower-bound invariants documented on LazyTopK.
+func NewLazyTopKFromState(g *graph.Graph, k int, st *LazyState) (*LazyTopK, error) {
+	if k < 1 {
+		k = 1
+	}
+	n := g.NumVertices()
+	if int32(len(st.Cached)) != n || int32(len(st.Stale)) != n {
+		return nil, fmt.Errorf("dynamic: lazy state covers %d scores / %d flags, graph has %d vertices",
+			len(st.Cached), len(st.Stale), n)
+	}
+	for v, cb := range st.Cached {
+		if math.IsNaN(cb) || math.IsInf(cb, 0) {
+			return nil, fmt.Errorf("dynamic: cached score of vertex %d is %v", v, cb)
+		}
+	}
+	if len(st.Members) > k {
+		return nil, fmt.Errorf("dynamic: %d result-set members exceed k=%d", len(st.Members), k)
+	}
+	lt := &LazyTopK{
+		g: graph.DynFromGraph(g), k: k,
+		cached:  st.Cached,
+		stale:   st.Stale,
+		inR:     make([]bool, n),
+		heap:    &lazyHeap{ver: make([]int32, n)},
+		scratch: ego.NewScratch(n),
+	}
+	for _, v := range st.Members {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("dynamic: result-set member %d out of range", v)
+		}
+		if lt.inR[v] {
+			return nil, fmt.Errorf("dynamic: result-set member %d duplicated", v)
+		}
+		lt.inR[v] = true
+		lt.members = append(lt.members, v)
+	}
+	for v := int32(0); v < n; v++ {
+		if !lt.inR[v] {
+			lt.heap.push(v, lt.cached[v])
+		}
+	}
+	return lt, nil
+}

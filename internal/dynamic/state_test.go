@@ -1,0 +1,187 @@
+package dynamic
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// script drives m (a *Maintainer or *LazyTopK via the closures) through a
+// deterministic pseudo-random toggle sequence.
+func runScript(t *testing.T, rng *rand.Rand, n int32, steps int,
+	hasEdge func(u, v int32) bool, insert, del func(u, v int32) error) {
+	t.Helper()
+	for step := 0; step < steps; step++ {
+		u, v := rng.Int32N(n), rng.Int32N(n)
+		if u == v {
+			continue
+		}
+		var err error
+		if hasEdge(u, v) {
+			err = del(u, v)
+		} else {
+			err = insert(u, v)
+		}
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+// TestLocalStateRoundTrip checks the tentpole property of the state codec at
+// this layer: export → import reproduces a maintainer that is behaviorally
+// identical to the original, not just at the moment of the snapshot but under
+// continued updates (the recovery path replays a WAL tail on top of the
+// imported state). Scores and evidence maps are compared exactly — the
+// tables travel verbatim, so there is no tolerance to hide behind.
+func TestLocalStateRoundTrip(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0x57A7E))
+		g := gen.Random(seed, 26)
+		m := NewMaintainer(g)
+		n := g.NumVertices()
+		runScript(t, rng, n, 40, m.Graph().HasEdge, m.InsertEdge, m.DeleteEdge)
+
+		frozen := m.Graph().Freeze(1)
+		st := m.ExportState()
+		// Deep-copy the state the way the binary codec does, so the restored
+		// maintainer shares nothing with the original.
+		cp := &LocalState{
+			Scores:     append([]float64(nil), st.Scores...),
+			TableSizes: append([]uint32(nil), st.TableSizes...),
+			Keys:       append([]uint64(nil), st.Keys...),
+			Vals:       append([]int32(nil), st.Vals...),
+			Dirty:      append([]int32(nil), st.Dirty...),
+		}
+		m2, err := NewMaintainerFromState(frozen, cp)
+		if err != nil {
+			t.Fatalf("seed %d: import: %v", seed, err)
+		}
+
+		// Same continued script on both; scores must stay bit-identical and
+		// match recomputation (the restored evidence must be logically right,
+		// not merely score-compatible).
+		rng1 := rand.New(rand.NewPCG(seed, 0xBEEF))
+		rng2 := rand.New(rand.NewPCG(seed, 0xBEEF))
+		runScript(t, rng1, n, 40, m.Graph().HasEdge, m.InsertEdge, m.DeleteEdge)
+		runScript(t, rng2, n, 40, m2.Graph().HasEdge, m2.InsertEdge, m2.DeleteEdge)
+		for v := int32(0); v < n; v++ {
+			if m.CB(v) != m2.CB(v) {
+				t.Fatalf("seed %d: CB(%d) diverged: %v vs %v", seed, v, m.CB(v), m2.CB(v))
+			}
+		}
+		assertMatchesScratch(t, m2, "post-import script")
+
+		// The dirty-score bookkeeping must round-trip too: both maintainers
+		// drain the same dirty set (order included — it is append order).
+		d1, d2 := m.TakeDirtyScores(), m2.TakeDirtyScores()
+		if len(d1) != len(d2) {
+			t.Fatalf("seed %d: dirty drain %d vs %d vertices", seed, len(d1), len(d2))
+		}
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				t.Fatalf("seed %d: dirty drain differs at %d: %d vs %d", seed, i, d1[i], d2[i])
+			}
+		}
+	}
+}
+
+// TestLazyStateRoundTrip is the ModeLazy analogue: export → import must
+// reproduce identical Results() under continued updates, with the candidate
+// heap rebuilt canonically from the cache.
+func TestLazyStateRoundTrip(t *testing.T) {
+	for seed := uint64(20); seed < 28; seed++ {
+		rng := rand.New(rand.NewPCG(seed, 0x1A2))
+		g := gen.Random(seed, 26)
+		k := 1 + int(seed%5)
+		lt := NewLazyTopK(g, k)
+		n := g.NumVertices()
+		runScript(t, rng, n, 40, lt.Graph().HasEdge, lt.InsertEdge, lt.DeleteEdge)
+
+		frozen := lt.Graph().Freeze(1)
+		st := lt.ExportState()
+		cp := &LazyState{
+			Cached:  append([]float64(nil), st.Cached...),
+			Stale:   append([]bool(nil), st.Stale...),
+			Members: append([]int32(nil), st.Members...),
+		}
+		lt2, err := NewLazyTopKFromState(frozen, k, cp)
+		if err != nil {
+			t.Fatalf("seed %d: import: %v", seed, err)
+		}
+
+		rng1 := rand.New(rand.NewPCG(seed, 0xF00))
+		rng2 := rand.New(rand.NewPCG(seed, 0xF00))
+		runScript(t, rng1, n, 40, lt.Graph().HasEdge, lt.InsertEdge, lt.DeleteEdge)
+		runScript(t, rng2, n, 40, lt2.Graph().HasEdge, lt2.InsertEdge, lt2.DeleteEdge)
+		r1, r2 := lt.Results(), lt2.Results()
+		if len(r1) != len(r2) {
+			t.Fatalf("seed %d: result sizes %d vs %d", seed, len(r1), len(r2))
+		}
+		for i := range r1 {
+			if r1[i].V != r2[i].V || math.Abs(r1[i].CB-r2[i].CB) > eps {
+				t.Fatalf("seed %d: result %d diverged: %+v vs %+v", seed, i, r1[i], r2[i])
+			}
+		}
+	}
+}
+
+// TestStateImportRejects enumerates the structural defects the import
+// constructors must refuse — each one is a fallback-to-rebuild trigger in
+// the recovery path, so it must be an error, never a panic or a silently
+// wrong maintainer.
+func TestStateImportRejects(t *testing.T) {
+	g, err := graph.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := func() *LocalState { return NewMaintainer(g).ExportState() }
+
+	localCases := map[string]func(st *LocalState){
+		"short scores":       func(st *LocalState) { st.Scores = st.Scores[:2] },
+		"short tables":       func(st *LocalState) { st.TableSizes = st.TableSizes[:2] },
+		"keys/vals differ":   func(st *LocalState) { st.Vals = st.Vals[:len(st.Vals)-1] },
+		"NaN score":          func(st *LocalState) { st.Scores[1] = math.NaN() },
+		"table overrun":      func(st *LocalState) { st.TableSizes[0] += 8 },
+		"trailing slots":     func(st *LocalState) { st.Keys = append(st.Keys, 0); st.Vals = append(st.Vals, 0) },
+		"dirty out of range": func(st *LocalState) { st.Dirty = append(st.Dirty, 99) },
+		"bad table size":     func(st *LocalState) { st.TableSizes[0] = 3 },
+	}
+	for name, corrupt := range localCases {
+		st := base()
+		// Detach from the live maintainer before corrupting.
+		st.Scores = append([]float64(nil), st.Scores...)
+		st.TableSizes = append([]uint32(nil), st.TableSizes...)
+		st.Keys = append([]uint64(nil), st.Keys...)
+		st.Vals = append([]int32(nil), st.Vals...)
+		corrupt(st)
+		if _, err := NewMaintainerFromState(g, st); err == nil {
+			t.Errorf("local %s: accepted", name)
+		}
+	}
+
+	lazyBase := func() *LazyState {
+		st := NewLazyTopK(g, 2).ExportState()
+		st.Cached = append([]float64(nil), st.Cached...)
+		st.Stale = append([]bool(nil), st.Stale...)
+		return st
+	}
+	lazyCases := map[string]func(st *LazyState){
+		"short cache":         func(st *LazyState) { st.Cached = st.Cached[:1] },
+		"short flags":         func(st *LazyState) { st.Stale = st.Stale[:1] },
+		"Inf cache":           func(st *LazyState) { st.Cached[0] = math.Inf(1) },
+		"member out of range": func(st *LazyState) { st.Members[0] = -1 },
+		"member duplicated":   func(st *LazyState) { st.Members[1] = st.Members[0] },
+		"too many members":    func(st *LazyState) { st.Members = []int32{0, 1, 2} },
+	}
+	for name, corrupt := range lazyCases {
+		st := lazyBase()
+		corrupt(st)
+		if _, err := NewLazyTopKFromState(g, 2, st); err == nil {
+			t.Errorf("lazy %s: accepted", name)
+		}
+	}
+}

@@ -46,10 +46,15 @@ func NewDynGraph(n int32) *DynGraph {
 
 // DynFromGraph copies a CSR graph into a mutable representation.
 func DynFromGraph(g *Graph) *DynGraph {
+	// One backing array for all rows instead of a per-vertex allocation:
+	// three-index subslices cap each row at its own region, so an append
+	// that grows a row reallocates just that row while deletions keep
+	// shrinking in place.
+	offsets, flat := g.CSR()
+	backing := append([]int32(nil), flat...)
 	adj := make([][]int32, g.NumVertices())
-	for v := int32(0); v < g.NumVertices(); v++ {
-		nbrs := g.Neighbors(v)
-		adj[v] = append(make([]int32, 0, len(nbrs)), nbrs...)
+	for v := range adj {
+		adj[v] = backing[offsets[v]:offsets[v+1]:offsets[v+1]]
 	}
 	return &DynGraph{adj: adj, m: g.NumEdges()}
 }

@@ -106,6 +106,18 @@ func (g *Graph) Validate() error {
 		return fmt.Errorf("graph: offsets length %d does not match n=%d", len(g.offsets), g.n)
 	}
 	var total int64
+	// Symmetry by merge instead of per-edge binary search: the sweep below
+	// visits directed edges (v,w) in ascending v for every fixed w, so in a
+	// symmetric graph each visit consumes exactly the next unconsumed slot of
+	// N(w) — cur[w] walks N(w) in lockstep. Any asymmetry desynchronizes a
+	// cursor from its list and fails the equality check, either at the stray
+	// entry itself or at the next edge that reaches past it; since every one
+	// of the len(adj) visits consumes one distinct slot, all-checks-pass
+	// implies every slot was matched. O(n+2m) total.
+	cur := make([]int64, g.n)
+	for v := int32(0); v < g.n; v++ {
+		cur[v] = g.offsets[v]
+	}
 	for v := int32(0); v < g.n; v++ {
 		nbrs := g.Neighbors(v)
 		total += int64(len(nbrs))
@@ -119,9 +131,10 @@ func (g *Graph) Validate() error {
 			if i > 0 && nbrs[i-1] >= w {
 				return fmt.Errorf("graph: neighbors of %d not strictly ascending at position %d", v, i)
 			}
-			if !g.HasEdge(w, v) {
+			if c := cur[w]; c >= g.offsets[w+1] || g.adj[c] != v {
 				return fmt.Errorf("graph: edge (%d,%d) not symmetric", v, w)
 			}
+			cur[w]++
 		}
 	}
 	if total != 2*g.m {

@@ -199,6 +199,74 @@ func (m *Map) MemoryFootprint() int64 {
 	return int64(len(m.keys))*8 + int64(len(m.vals))*4
 }
 
+// Table exposes the raw open-addressing table: the key and value slot arrays,
+// including empty and tombstone slots. The slices are shared with the map and
+// must not be modified. Dumping the table verbatim (and restoring it with
+// FromTable) round-trips the map without rehashing a single key — the basis
+// of the O(load) maintainer-state snapshot codec.
+func (m *Map) Table() (keys []uint64, vals []int32) {
+	return m.keys, m.vals
+}
+
+// FromTable reconstructs a Map directly from raw slot arrays as produced by
+// Table, taking ownership of both slices — no entry is rehashed, so the cost
+// is one validation scan. The table must be structurally sound: power-of-two
+// size ≥ 8, at least a quarter of the slots free (so probes terminate and the
+// load invariant holds), and every live key a canonical pair Key(i, j) with
+// 0 ≤ i < j < idBound. Deeper consistency (values matching any particular
+// graph) is the caller's contract, normally discharged by the checksum layer
+// above this codec.
+func FromTable(keys []uint64, vals []int32, idBound int32) (*Map, error) {
+	m := new(Map)
+	if err := m.ResetFromTable(keys, vals, idBound); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ResetFromTable initializes m in place from a verbatim table, under the same
+// contract as FromTable. It exists so a caller restoring many tables (one per
+// vertex at recovery) can lay the Map headers out in a single slab instead of
+// paying one heap allocation per table.
+func (m *Map) ResetFromTable(keys []uint64, vals []int32, idBound int32) error {
+	if len(keys) != len(vals) {
+		return fmt.Errorf("pairmap: table has %d key slots, %d value slots", len(keys), len(vals))
+	}
+	if len(keys) < 8 || len(keys)&(len(keys)-1) != 0 {
+		return fmt.Errorf("pairmap: table size %d is not a power of two ≥ 8", len(keys))
+	}
+	vals = vals[:len(keys)] // one bounds check for the whole scan
+	// This scan is the per-slot cost of restoring a maintainer from a
+	// snapshot, so the hot path is branch-lean: a valid occupied slot packs
+	// hi < lo < idBound, and since idBound ≤ 2³¹−1 the unsigned comparisons
+	// below subsume the hi ≥ 0 check (hi ≥ 2³¹ could never sit under lo).
+	bound := uint64(uint32(idBound))
+	live, dirty := 0, 0
+	for i, k := range keys {
+		if k == emptySlot {
+			continue
+		}
+		if k == tombstone {
+			dirty++
+			continue
+		}
+		if hi, lo := k>>32, k&0xffffffff; hi >= lo || lo >= bound {
+			shi, slo := Split(k)
+			return fmt.Errorf("pairmap: slot %d holds invalid pair key (%d,%d) under bound %d", i, shi, slo, idBound)
+		}
+		if vals[i] < 0 {
+			return fmt.Errorf("pairmap: slot %d holds negative count %d", i, vals[i])
+		}
+		live++
+		dirty++
+	}
+	if dirty*4 > len(keys)*3 {
+		return fmt.Errorf("pairmap: table occupancy %d/%d exceeds the 3/4 load bound", dirty, len(keys))
+	}
+	*m = Map{keys: keys, vals: vals, live: live, dirty: dirty}
+	return nil
+}
+
 // ensure grows the table when live+tombstone occupancy crosses 3/4,
 // rehashing live entries and dropping tombstones.
 func (m *Map) ensure() {

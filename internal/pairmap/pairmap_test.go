@@ -248,3 +248,100 @@ func TestMemoryFootprint(t *testing.T) {
 		t.Fatal("footprint must be positive")
 	}
 }
+
+// TestTableRoundTrip drives a map through a mixed insert/overwrite/delete
+// history, dumps the raw table, rebuilds via FromTable, and checks the copy
+// behaves identically — including tombstones and live counts surviving the
+// round trip verbatim.
+func TestTableRoundTrip(t *testing.T) {
+	m := New()
+	for i := int32(0); i < 300; i++ {
+		m.Set(Key(i, i+7), i+1)
+	}
+	for i := int32(0); i < 300; i += 3 {
+		m.Delete(Key(i, i+7))
+	}
+	m.SetMarker(Key(2, 5))
+
+	keys, vals := m.Table()
+	got, err := FromTable(append([]uint64(nil), keys...), append([]int32(nil), vals...), 1000)
+	if err != nil {
+		t.Fatalf("FromTable: %v", err)
+	}
+	if got.Len() != m.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), m.Len())
+	}
+	m.Iterate(func(k uint64, val int32) bool {
+		v, ok := got.Get(k)
+		if !ok || v != val {
+			t.Fatalf("key %d: got (%d,%v), want (%d,true)", k, v, ok, val)
+		}
+		return true
+	})
+	// The rebuilt map must keep working as a hash table: insert enough new
+	// entries to force growth, then verify old and new coexist.
+	for i := int32(500); i < 900; i++ {
+		got.Set(Key(i, i+1), 9)
+	}
+	if v, ok := got.Get(Key(1, 8)); !ok || v != 2 {
+		t.Fatalf("lost pre-round-trip entry after growth: (%d,%v)", v, ok)
+	}
+	if !got.IsMarker(Key(2, 5)) {
+		t.Fatal("marker entry lost in round trip")
+	}
+}
+
+// TestFromTableRejects enumerates the structural defects FromTable must
+// refuse: size/shape violations, non-canonical keys, out-of-bound vertices,
+// negative counts, and over-full tables whose probes could not terminate.
+func TestFromTableRejects(t *testing.T) {
+	mk := func(edit func(keys []uint64, vals []int32)) ([]uint64, []int32) {
+		keys := make([]uint64, 8)
+		vals := make([]int32, 8)
+		edit(keys, vals)
+		return keys, vals
+	}
+	cases := []struct {
+		name string
+		keys []uint64
+		vals []int32
+	}{
+		{name: "length mismatch", keys: make([]uint64, 8), vals: make([]int32, 4)},
+		{name: "not power of two", keys: make([]uint64, 12), vals: make([]int32, 12)},
+		{name: "too small", keys: make([]uint64, 4), vals: make([]int32, 4)},
+	}
+	addCase := func(name string, edit func(keys []uint64, vals []int32)) {
+		k, v := mk(edit)
+		cases = append(cases, struct {
+			name string
+			keys []uint64
+			vals []int32
+		}{name, k, v})
+	}
+	addCase("non-canonical key (hi ≥ lo)", func(keys []uint64, _ []int32) {
+		keys[0] = uint64(9)<<32 | 3
+	})
+	addCase("vertex beyond bound", func(keys []uint64, _ []int32) {
+		keys[0] = Key(1, 99)
+	})
+	addCase("negative count", func(keys []uint64, vals []int32) {
+		keys[0], vals[0] = Key(1, 2), -1
+	})
+	addCase("over-full table", func(keys []uint64, _ []int32) {
+		for i := range keys {
+			keys[i] = tombstone
+		}
+	})
+	for _, tc := range cases {
+		if _, err := FromTable(tc.keys, tc.vals, 10); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// The happy path with the same bound, as a control.
+	keys, vals := mk(func(keys []uint64, vals []int32) {
+		keys[0], vals[0] = Key(1, 2), 3
+	})
+	if _, err := FromTable(keys, vals, 10); err != nil {
+		t.Errorf("valid table rejected: %v", err)
+	}
+}

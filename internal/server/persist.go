@@ -5,13 +5,17 @@ package server
 //
 // Durability contract: the per-graph serialized writer appends every update
 // batch to the graph's WAL (and fsyncs) before applying it, and periodically
-// folds the WAL into a fresh binary CSR snapshot (the checkpoint — it reuses
-// the immutable snapshot the write path just built, so no extra export).
-// Recovery loads the latest snapshot, rebuilds the paper's maintainer on it
-// (recomputing all scores and evidence state, which is never persisted — it
-// is reproducible and dwarfs the graph on disk), and replays the WAL tail
-// through the same deterministic batch-application code the live writer
-// uses, so the recovered top-k state matches a process that never crashed.
+// folds the WAL into a fresh binary CSR snapshot (the checkpoint). Since the
+// version-2 snapshot format (DESIGN.md §11), a checkpoint also carries the
+// live maintainer's state — scores, pair-evidence tables, dirty bookkeeping —
+// in a separately checksummed section, so recovery has a fast path: load the
+// CSR, import the maintainer state in O(load), and replay only the WAL tail
+// through applyLocked, the same deterministic batch-application code the live
+// writer uses. When the section is absent (a pre-v2 or never-checkpointed
+// store), version-skewed, corrupt, or fails import validation, recovery falls
+// back to rebuilding the maintainer from the graph — strictly slower, never
+// wrong — and reports which path ran (GraphInfo.RecoverPath/RecoverReason).
+// Either way the recovered top-k state matches a process that never crashed.
 
 import (
 	"fmt"
@@ -77,13 +81,28 @@ func (e *entry) mirrorPersist() {
 	e.ckpts.Store(e.st.Checkpoints())
 }
 
+// maintainerState exports the live maintainer's state for a checkpoint.
+// The exported slices alias live maintainer internals and stay valid only
+// until the next applied batch — callers hold e.mu and encode synchronously,
+// which is exactly that window. Callers hold e.mu.
+func (e *entry) maintainerState() *store.MaintainerState {
+	switch {
+	case e.local != nil:
+		return &store.MaintainerState{Local: e.local.ExportState()}
+	case e.lazy != nil:
+		return &store.MaintainerState{Lazy: e.lazy.ExportState()}
+	}
+	return nil
+}
+
 // maybeCheckpoint folds the WAL into a fresh snapshot once the policy says
 // so: every ckptBatches update batches (a group commit counts each batch it
 // carried) or once the WAL passes ckptBytes. The on-disk format is a full
-// CSR, unchanged by the overlay scheme: the checkpoint takes its graph from
-// the compactor — fullGraphLocked forces a synchronous compaction when the
-// served view is still an overlay chain, and the flattened CSR is
-// republished so the work also pays down the read path. Callers hold e.mu.
+// CSR plus the maintainer-state section, unchanged by the overlay scheme:
+// the checkpoint takes its graph from the compactor — fullGraphLocked forces
+// a synchronous compaction when the served view is still an overlay chain,
+// and the flattened CSR is republished so the work also pays down the read
+// path. Callers hold e.mu.
 func (e *entry) maybeCheckpoint(ckptBatches int, ckptBytes int64, batches int) error {
 	if e.st == nil {
 		return nil
@@ -93,7 +112,7 @@ func (e *entry) maybeCheckpoint(ckptBatches int, ckptBytes int64, batches int) e
 	if e.sinceCkpt < ckptBatches && e.st.WALBytes() < ckptBytes {
 		return nil
 	}
-	if err := e.st.Checkpoint(e.fullGraphLocked(), e.persistMeta(e.st.Seq())); err != nil {
+	if err := e.st.CheckpointWithState(e.fullGraphLocked(), e.persistMeta(e.st.Seq()), e.maintainerState()); err != nil {
 		return err
 	}
 	e.sinceCkpt = 0
@@ -155,9 +174,12 @@ func (r *Registry) Recover() ([]GraphInfo, error) {
 	return infos, nil
 }
 
-// recoverOne rebuilds one graph from its store directory. The maintainer is
-// reconstructed on the snapshot graph (recomputing all scores and evidence
-// exactly), then the WAL tail is replayed through applyLocked — the same
+// recoverOne brings one graph back from its store directory. When the
+// snapshot carries a usable maintainer-state section the maintainer is
+// imported from it in O(load) — the fast path; otherwise (pre-v2 snapshot,
+// corrupt or version-skewed section, import validation failure) it is
+// reconstructed on the snapshot graph, recomputing all scores and evidence.
+// Either way the WAL tail is then replayed through applyLocked — the same
 // deterministic code the live writer runs — so the final state equals the
 // pre-crash state.
 func (r *Registry) recoverOne(name string) (GraphInfo, error) {
@@ -182,14 +204,43 @@ func (r *Registry) recoverOne(name string) (GraphInfo, error) {
 	e := r.newEntry(name, mode)
 	e.st = st
 	t0 := time.Now()
+	e.recoverPath = "rebuild"
+	switch {
+	case rec.StateErr != nil:
+		e.recoverReason = rec.StateErr.Error()
+	case rec.State == nil:
+		e.recoverReason = "no maintainer-state section in snapshot"
+	}
 	if mode == ModeLocal {
-		e.local = dynamic.NewMaintainerParallel(rec.Graph, e.workers)
+		if rec.State != nil && rec.StateErr == nil {
+			if rec.State.Local == nil {
+				e.recoverReason = "snapshot maintainer state is for the other maintenance mode"
+			} else if m, err := dynamic.NewMaintainerFromState(rec.Graph, rec.State.Local); err != nil {
+				e.recoverReason = fmt.Sprintf("maintainer-state import: %v", err)
+			} else {
+				e.local, e.recoverPath, e.recoverReason = m, "fast", ""
+			}
+		}
+		if e.local == nil {
+			e.local = dynamic.NewMaintainerParallel(rec.Graph, e.workers)
+		}
 	} else {
 		lazyK := int(rec.Meta.LazyK)
 		if lazyK < 1 {
 			lazyK = 10
 		}
-		e.lazy = dynamic.NewLazyTopKParallel(rec.Graph, lazyK, e.workers)
+		if rec.State != nil && rec.StateErr == nil {
+			if rec.State.Lazy == nil {
+				e.recoverReason = "snapshot maintainer state is for the other maintenance mode"
+			} else if lt, err := dynamic.NewLazyTopKFromState(rec.Graph, lazyK, rec.State.Lazy); err != nil {
+				e.recoverReason = fmt.Sprintf("maintainer-state import: %v", err)
+			} else {
+				e.lazy, e.recoverPath, e.recoverReason = lt, "fast", ""
+			}
+		}
+		if e.lazy == nil {
+			e.lazy = dynamic.NewLazyTopKParallel(rec.Graph, lazyK, e.workers)
+		}
 	}
 	for _, b := range rec.Tail {
 		e.applyLocked(b.Edges, b.Insert)

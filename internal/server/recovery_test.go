@@ -252,6 +252,7 @@ func TestRecoveryCrashPoints(t *testing.T) {
 		{store.CrashBeforeWALAppend, false},
 		{store.CrashAfterWALAppend, true},
 		{store.CrashBeforeCheckpoint, true},
+		{store.CrashInStateWrite, true},
 		{store.CrashAfterSnapshotTmp, true},
 		{store.CrashAfterSnapshotRename, true},
 	}

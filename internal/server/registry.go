@@ -224,6 +224,15 @@ type entry struct {
 	st        *store.Store
 	sinceCkpt int
 
+	// How this entry's maintainer came to be at recovery: "fast" when the
+	// snapshot's maintainer-state section was imported (O(load) boot),
+	// "rebuild" when scores and evidence were recomputed from the graph, ""
+	// for entries that were never recovered. recoverReason says why a
+	// rebuild happened. Set once in recoverOne before the entry is
+	// published, immutable after.
+	recoverPath   string
+	recoverReason string
+
 	// Accounting. Atomics, written from both read and write paths.
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
@@ -665,6 +674,13 @@ type GraphInfo struct {
 	WALBytes    int64  `json:"wal_bytes,omitempty"`
 	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
 	Checkpoints int64  `json:"checkpoints,omitempty"`
+
+	// Recovery accounting (set only on entries that came up via Recover):
+	// "fast" when the checkpoint's maintainer-state section was imported
+	// instead of recomputed, "rebuild" otherwise, with the reason for the
+	// rebuild (version skew, corruption, pre-state-section snapshot, …).
+	RecoverPath   string `json:"recover_path,omitempty"`
+	RecoverReason string `json:"recover_reason,omitempty"`
 }
 
 func (e *entry) info() GraphInfo {
@@ -704,6 +720,8 @@ func (e *entry) infoAt(s *snapshot) GraphInfo {
 		gi.SnapshotSeq = e.snapSeq.Load()
 		gi.Checkpoints = e.ckpts.Load()
 	}
+	gi.RecoverPath = e.recoverPath
+	gi.RecoverReason = e.recoverReason
 	return gi
 }
 

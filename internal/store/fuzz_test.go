@@ -2,11 +2,13 @@ package store
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"repro/internal/dynamic"
 	"repro/internal/graph"
 )
 
@@ -33,6 +35,34 @@ func fuzzSnapshotSeeds() [][]byte {
 		truncated,
 		flipped,
 		snapMagic[:],
+		fuzzStateSeeds()[0], // a version-2 image: both decoders see it
+	}
+}
+
+// fuzzStateSeeds are the FuzzDecodeMaintainerState starting points: valid
+// version-2 images for both maintenance modes, a torn and a bit-flipped one,
+// a version-1 file (no section — must decode to nil, nil), and bare magic.
+func fuzzStateSeeds() [][]byte {
+	g, _ := graph.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	m := dynamic.NewMaintainer(g)
+	_ = m.InsertEdge(1, 3)
+	_ = m.DeleteEdge(0, 1)
+	local := EncodeSnapshotWithState(m.Graph().Freeze(1), SnapshotMeta{Seq: 2},
+		&MaintainerState{Local: m.ExportState()})
+	lt := dynamic.NewLazyTopK(g, 2)
+	_ = lt.DeleteEdge(0, 2)
+	lazy := EncodeSnapshotWithState(lt.Graph().Freeze(1), SnapshotMeta{Mode: 1, LazyK: 2, Seq: 1},
+		&MaintainerState{Lazy: lt.ExportState()})
+	torn := local[:len(local)-8]
+	flipped := append([]byte(nil), lazy...)
+	flipped[len(flipped)-2] ^= 0x20
+	return [][]byte{
+		local,
+		lazy,
+		torn,
+		flipped,
+		EncodeSnapshot(g, SnapshotMeta{}),
+		stateMagic[:],
 	}
 }
 
@@ -43,8 +73,9 @@ func fuzzSnapshotSeeds() [][]byte {
 // from them.
 func TestSeedCorpora(t *testing.T) {
 	for target, seeds := range map[string][][]byte{
-		"FuzzDecodeSnapshot": fuzzSnapshotSeeds(),
-		"FuzzDecodeWAL":      fuzzWALSeeds(),
+		"FuzzDecodeSnapshot":        fuzzSnapshotSeeds(),
+		"FuzzDecodeMaintainerState": fuzzStateSeeds(),
+		"FuzzDecodeWAL":             fuzzWALSeeds(),
 	} {
 		dir := filepath.Join("testdata", "fuzz", target)
 		if *update {
@@ -80,12 +111,57 @@ func FuzzDecodeSnapshot(f *testing.F) {
 			return
 		}
 		// Accepted input must be fully self-consistent: a valid graph whose
-		// canonical re-encoding reproduces the input byte for byte.
+		// canonical re-encoding reproduces the input byte for byte. For a
+		// version-2 image the canonical form includes the state section, so
+		// the check only closes when that section decodes too (its own
+		// corruption is FuzzDecodeMaintainerState's department).
 		if err := g.Validate(); err != nil {
 			t.Fatalf("decoded graph invalid: %v", err)
 		}
-		if re := EncodeSnapshot(g, meta); !bytes.Equal(re, data) {
-			t.Fatalf("accepted snapshot is not canonical: %d in, %d re-encoded", len(data), len(re))
+		switch binary.LittleEndian.Uint16(data[4:6]) {
+		case SnapshotVersion:
+			if re := EncodeSnapshot(g, meta); !bytes.Equal(re, data) {
+				t.Fatalf("accepted snapshot is not canonical: %d in, %d re-encoded", len(data), len(re))
+			}
+		case SnapshotVersionState:
+			if st, err := DecodeSnapshotState(data); err == nil {
+				if re := EncodeSnapshotWithState(g, meta, st); !bytes.Equal(re, data) {
+					t.Fatalf("accepted v2 snapshot is not canonical: %d in, %d re-encoded", len(data), len(re))
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeMaintainerState hammers the state-section decoder: arbitrary
+// bytes must yield a clean error or a state that (a) re-encodes canonically
+// alongside its graph and (b) can be offered to the import constructors
+// without panicking — an import error is exactly the recovery path's
+// fall-back-to-rebuild signal, so it is acceptable; a panic never is.
+func FuzzDecodeMaintainerState(f *testing.F) {
+	for _, seed := range fuzzStateSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := DecodeSnapshotState(data)
+		if err != nil {
+			return
+		}
+		if st == nil {
+			return // version-1 image: no section exists and none is expected
+		}
+		g, meta, err := DecodeSnapshot(data)
+		if err != nil {
+			return // graph part is judged independently; state alone may pass
+		}
+		if re := EncodeSnapshotWithState(g, meta, st); !bytes.Equal(re, data) {
+			t.Fatalf("accepted state section is not canonical: %d in, %d re-encoded", len(data), len(re))
+		}
+		if st.Local != nil {
+			_, _ = dynamic.NewMaintainerFromState(g, st.Local)
+		}
+		if st.Lazy != nil {
+			_, _ = dynamic.NewLazyTopKFromState(g, int(meta.LazyK), st.Lazy)
 		}
 	})
 }

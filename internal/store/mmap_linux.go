@@ -1,0 +1,41 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// readFileShared returns the contents of path as a copy-on-write mapping of
+// the page cache instead of a heap copy. This is what the snapshot format's
+// 8-aligned word layout exists for: DecodeSnapshotState aliases its arrays
+// straight out of this buffer, so a recovered maintainer's evidence tables
+// are file-backed pages — no read copy, no conversion pass. The mapping is
+// MAP_PRIVATE with write permission because an imported maintainer keeps
+// mutating those tables in place: only the pages it actually dirties are
+// duplicated, on first write. Nothing unmaps the buffer — it lives exactly
+// as long as the recovered state it backs, one mapping per recovery.
+func readFileShared(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := info.Size()
+	if size <= 0 || int64(int(size)) != size {
+		// Empty (mmap would fail) or absurdly large: take the plain path,
+		// which also produces the right errors for the decoder to report.
+		return os.ReadFile(path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_PRIVATE)
+	if err != nil {
+		// mmap is an optimization, never a requirement.
+		return os.ReadFile(path)
+	}
+	return data, nil
+}

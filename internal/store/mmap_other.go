@@ -1,0 +1,12 @@
+//go:build !linux
+
+package store
+
+import "os"
+
+// readFileShared reads path into the heap on platforms without the mmap fast
+// path; the decoder's aliasing contract is unchanged (the caller hands the
+// buffer over either way).
+func readFileShared(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -11,10 +11,17 @@ import (
 	"repro/internal/graph"
 )
 
-// SnapshotVersion is the on-disk snapshot format version this build writes
-// and the only one it accepts. Bump it on any layout change; decoders reject
-// other versions loudly instead of misreading them.
-const SnapshotVersion = 1
+// Snapshot format versions this build writes and reads. Version 1 is the
+// bare CSR snapshot; version 2 appends the maintainer-state section (see
+// state.go) after an identically laid-out graph part. Creation and
+// state-less checkpoints still write version 1, so old files, golden tests,
+// and new files without maintainer state are bit-identical across the
+// format extension; decoders reject any other version loudly instead of
+// misreading it.
+const (
+	SnapshotVersion      = 1
+	SnapshotVersionState = 2
+)
 
 // snapMagic identifies a snapshot file ("EBWS": Ego-BetWeenness Snapshot).
 var snapMagic = [4]byte{'E', 'B', 'W', 'S'}
@@ -31,8 +38,8 @@ type SnapshotMeta struct {
 	Seq uint64
 }
 
-// Snapshot layout (all little-endian, fixed field order — the encoding of a
-// given graph+meta is byte-stable, which the golden-file tests pin down):
+// Graph-part layout (all little-endian, fixed field order — the encoding of
+// a given graph+meta is byte-stable, which the golden-file tests pin down):
 //
 //	[0]  magic    [4]byte "EBWS"
 //	[4]  version  uint16
@@ -44,96 +51,120 @@ type SnapshotMeta struct {
 //	[24] m        uint64
 //	[32] offLen   uint64 = (n+1)*8, then offLen bytes of int64 offsets
 //	[..] adjLen   uint64 = 2m*4,    then adjLen bytes of int32 adjacency
-//	[..] crc      uint32 (IEEE, over every preceding byte)
+//	[..] crc      uint32 (IEEE, over every preceding byte of the graph part)
+//
+// A version-1 file ends exactly at the crc; a version-2 file continues with
+// the 8-aligned maintainer-state section (state.go), whose own CRC covers
+// only the section — so either half can be judged corrupt independently.
 const (
 	snapFixedHeaderLen = 40 // through the offLen field
 	snapTrailerLen     = 4  // the crc
 )
 
-// EncodeSnapshot serializes g and its metadata into the versioned,
-// CRC-trailed snapshot format.
+// EncodeSnapshot serializes g and its metadata into the version-1 snapshot
+// format (no maintainer state). EncodeSnapshotWithState produces version 2.
 func EncodeSnapshot(g *graph.Graph, meta SnapshotMeta) []byte {
+	return encodeGraphPart(g, meta, SnapshotVersion, 0)
+}
+
+// encodeGraphPart serializes the CSR graph part, closing it with its CRC.
+// extraCap reserves room beyond the graph part, so a state-carrying encoder
+// appends its section without regrowing the buffer.
+func encodeGraphPart(g *graph.Graph, meta SnapshotMeta, version uint16, extraCap int) []byte {
 	offsets, adj := g.CSR()
 	offLen := uint64(len(offsets)) * 8
 	adjLen := uint64(len(adj)) * 4
-	buf := make([]byte, 0, snapFixedHeaderLen+int(offLen)+8+int(adjLen)+snapTrailerLen)
+	buf := make([]byte, 0, snapFixedHeaderLen+int(offLen)+8+int(adjLen)+snapTrailerLen+extraCap)
 	buf = append(buf, snapMagic[:]...)
-	buf = binary.LittleEndian.AppendUint16(buf, SnapshotVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, version)
 	buf = append(buf, meta.Mode, 0)
 	buf = binary.LittleEndian.AppendUint32(buf, meta.LazyK)
 	buf = binary.LittleEndian.AppendUint64(buf, meta.Seq)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(g.NumVertices()))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.NumEdges()))
 	buf = binary.LittleEndian.AppendUint64(buf, offLen)
-	for _, o := range offsets {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(o))
-	}
+	buf = appendWords(buf, offsets)
 	buf = binary.LittleEndian.AppendUint64(buf, adjLen)
-	for _, a := range adj {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(a))
-	}
+	buf = appendWords(buf, adj)
 	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 }
 
-// DecodeSnapshot parses a snapshot produced by EncodeSnapshot, validating
-// the version, every length prefix, the checksum, and finally the full CSR
-// structural invariants. Corrupt, truncated, or trailing-garbage input
-// returns an error; it never panics and never allocates more than the input
-// itself implies.
-func DecodeSnapshot(data []byte) (*graph.Graph, SnapshotMeta, error) {
-	var meta SnapshotMeta
+// snapshotLayout skims a snapshot header far enough to situate its parts:
+// the format version, the vertex count, and the byte length of the graph
+// part (fixed header + sections + graph CRC). It validates the header fields
+// it reads and that the graph part fits the input, so both full decoders can
+// build on it without re-deriving overflow guards.
+func snapshotLayout(data []byte) (version uint16, n, graphLen uint64, err error) {
 	if len(data) < snapFixedHeaderLen+8+snapTrailerLen {
-		return nil, meta, fmt.Errorf("store: snapshot truncated (%d bytes)", len(data))
+		return 0, 0, 0, fmt.Errorf("store: snapshot truncated (%d bytes)", len(data))
 	}
 	if [4]byte(data[0:4]) != snapMagic {
-		return nil, meta, fmt.Errorf("store: bad snapshot magic %q", data[0:4])
+		return 0, 0, 0, fmt.Errorf("store: bad snapshot magic %q", data[0:4])
 	}
-	if v := binary.LittleEndian.Uint16(data[4:6]); v != SnapshotVersion {
-		return nil, meta, fmt.Errorf("store: unsupported snapshot version %d (this build reads %d)", v, SnapshotVersion)
+	version = binary.LittleEndian.Uint16(data[4:6])
+	if version != SnapshotVersion && version != SnapshotVersionState {
+		return 0, 0, 0, fmt.Errorf("store: unsupported snapshot version %d (this build reads %d and %d)",
+			version, SnapshotVersion, SnapshotVersionState)
 	}
-	meta.Mode = data[6]
 	if data[7] != 0 {
-		return nil, meta, fmt.Errorf("store: corrupt snapshot header (reserved byte %#x)", data[7])
+		return 0, 0, 0, fmt.Errorf("store: corrupt snapshot header (reserved byte %#x)", data[7])
 	}
-	meta.LazyK = binary.LittleEndian.Uint32(data[8:12])
-	meta.Seq = binary.LittleEndian.Uint64(data[12:20])
-	n64 := uint64(binary.LittleEndian.Uint32(data[20:24]))
+	n = uint64(binary.LittleEndian.Uint32(data[20:24]))
+	if n > math.MaxInt32 {
+		return 0, 0, 0, fmt.Errorf("store: snapshot n=%d beyond int32", n)
+	}
 	m := binary.LittleEndian.Uint64(data[24:32])
-	if n64 > math.MaxInt32 {
-		return nil, meta, fmt.Errorf("store: snapshot n=%d beyond int32", n64)
-	}
 	offLen := binary.LittleEndian.Uint64(data[32:40])
-	if offLen != (n64+1)*8 {
-		return nil, meta, fmt.Errorf("store: snapshot offsets section is %d bytes, n=%d implies %d", offLen, n64, (n64+1)*8)
+	if offLen != (n+1)*8 {
+		return 0, 0, 0, fmt.Errorf("store: snapshot offsets section is %d bytes, n=%d implies %d", offLen, n, (n+1)*8)
 	}
-	// Every section length is determined by the header, so the total file
-	// size is too; requiring exact equality rejects truncation and trailing
-	// garbage before any allocation, and bounds every allocation below by
-	// len(data).
-	total := uint64(snapFixedHeaderLen) + offLen + 8 + 8*m + snapTrailerLen
-	if m > (math.MaxUint64-uint64(snapFixedHeaderLen)-offLen-8-snapTrailerLen)/8 || total != uint64(len(data)) {
-		return nil, meta, fmt.Errorf("store: snapshot is %d bytes, header implies %d", len(data), total)
+	// Every graph-part length is determined by the header, so its total is
+	// too; bounding it by the input (with overflow guarded via division)
+	// rejects truncation before any allocation and bounds every allocation
+	// below by len(data).
+	if m > (math.MaxUint64-uint64(snapFixedHeaderLen)-offLen-8-snapTrailerLen)/8 {
+		return 0, 0, 0, fmt.Errorf("store: snapshot m=%d overflows the graph part", m)
+	}
+	graphLen = uint64(snapFixedHeaderLen) + offLen + 8 + 8*m + snapTrailerLen
+	if graphLen > uint64(len(data)) {
+		return 0, 0, 0, fmt.Errorf("store: snapshot is %d bytes, header implies ≥ %d", len(data), graphLen)
 	}
 	if adjLen := binary.LittleEndian.Uint64(data[snapFixedHeaderLen+offLen : snapFixedHeaderLen+offLen+8]); adjLen != 8*m {
-		return nil, meta, fmt.Errorf("store: snapshot adjacency section is %d bytes, m=%d implies %d", adjLen, m, 8*m)
+		return 0, 0, 0, fmt.Errorf("store: snapshot adjacency section is %d bytes, m=%d implies %d", adjLen, m, 8*m)
 	}
-	body, crcBytes := data[:len(data)-snapTrailerLen], data[len(data)-snapTrailerLen:]
+	return version, n, graphLen, nil
+}
+
+// DecodeSnapshot parses the graph part of a snapshot produced by
+// EncodeSnapshot or EncodeSnapshotWithState, validating the version, every
+// length prefix, the graph checksum, and finally the full CSR structural
+// invariants. Corrupt, truncated, or trailing-garbage input returns an
+// error; it never panics and never allocates more than the input itself
+// implies. A version-2 file's maintainer-state section is deliberately not
+// examined here — DecodeSnapshotState judges it separately, so state-section
+// corruption can never block loading the graph.
+func DecodeSnapshot(data []byte) (*graph.Graph, SnapshotMeta, error) {
+	var meta SnapshotMeta
+	version, n, graphLen, err := snapshotLayout(data)
+	if err != nil {
+		return nil, meta, err
+	}
+	if version == SnapshotVersion && graphLen != uint64(len(data)) {
+		return nil, meta, fmt.Errorf("store: snapshot is %d bytes, header implies %d", len(data), graphLen)
+	}
+	meta.Mode = data[6]
+	meta.LazyK = binary.LittleEndian.Uint32(data[8:12])
+	meta.Seq = binary.LittleEndian.Uint64(data[12:20])
+	body, crcBytes := data[:graphLen-snapTrailerLen], data[graphLen-snapTrailerLen:graphLen]
 	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(crcBytes); got != want {
 		return nil, meta, fmt.Errorf("store: snapshot checksum mismatch (file %#x, computed %#x)", want, got)
 	}
 
-	offsets := make([]int64, n64+1)
-	pos := uint64(snapFixedHeaderLen)
-	for i := range offsets {
-		offsets[i] = int64(binary.LittleEndian.Uint64(data[pos : pos+8]))
-		pos += 8
-	}
-	pos += 8 // adjLen field
-	adj := make([]int32, 2*m)
-	for i := range adj {
-		adj[i] = int32(binary.LittleEndian.Uint32(data[pos : pos+4]))
-		pos += 4
-	}
+	offsets := make([]int64, n+1)
+	decodeWords(offsets, data[snapFixedHeaderLen:])
+	pos := uint64(snapFixedHeaderLen) + (n+1)*8 + 8 // through the adjLen field
+	adj := make([]int32, (graphLen-snapTrailerLen-pos)/4)
+	decodeWords(adj, data[pos:])
 	g, err := graph.FromCSR(offsets, adj)
 	if err != nil {
 		return nil, meta, fmt.Errorf("store: snapshot body: %w", err)
@@ -145,17 +176,38 @@ func DecodeSnapshot(data []byte) (*graph.Graph, SnapshotMeta, error) {
 // write to a temp file in the same directory, fsync, rename over path, fsync
 // the directory. A crash at any point leaves either the old or the new
 // snapshot fully intact, never a torn one. A non-nil hook is the crash-
-// injection seam: it runs once the temp file is durable, just before the
-// rename (CrashAfterSnapshotTmp), and a non-nil return aborts there.
-func writeSnapshotFile(path string, g *graph.Graph, meta SnapshotMeta, hook func(point string) error) error {
+// injection seam: CrashInStateWrite fires between the graph part and the
+// maintainer-state section of the temp file (tearing the section exactly
+// where a real crash could), CrashAfterSnapshotTmp once the temp file is
+// durable, just before the rename; a non-nil return aborts there.
+func writeSnapshotFile(path string, g *graph.Graph, meta SnapshotMeta, st *MaintainerState, hook func(point string) error) error {
+	img := EncodeSnapshotWithState(g, meta, st)
+	split := len(img)
+	if !st.empty() {
+		// The graph part's length is fully determined by g.
+		offsets, adj := g.CSR()
+		split = snapFixedHeaderLen + len(offsets)*8 + 8 + len(adj)*4 + snapTrailerLen
+	}
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: snapshot temp: %w", err)
 	}
-	if _, err := f.Write(EncodeSnapshot(g, meta)); err != nil {
+	if _, err := f.Write(img[:split]); err != nil {
 		f.Close()
 		return fmt.Errorf("store: snapshot write: %w", err)
+	}
+	if split < len(img) {
+		if hook != nil {
+			if err := hook(CrashInStateWrite); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if _, err := f.Write(img[split:]); err != nil {
+			f.Close()
+			return fmt.Errorf("store: snapshot state write: %w", err)
+		}
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -175,17 +227,21 @@ func writeSnapshotFile(path string, g *graph.Graph, meta SnapshotMeta, hook func
 	return syncDir(filepath.Dir(path))
 }
 
-// readSnapshotFile loads and decodes the snapshot at path.
-func readSnapshotFile(path string) (*graph.Graph, SnapshotMeta, error) {
-	data, err := os.ReadFile(path)
+// readSnapshotFile loads and decodes the snapshot at path: the graph always,
+// the maintainer-state section on a best-effort basis — state is nil either
+// when the snapshot is version 1 (stateErr nil: nothing was expected) or
+// when the section is unusable (stateErr says why; the graph still serves).
+func readSnapshotFile(path string) (g *graph.Graph, meta SnapshotMeta, state *MaintainerState, stateErr error, err error) {
+	data, err := readFileShared(path)
 	if err != nil {
-		return nil, SnapshotMeta{}, err
+		return nil, SnapshotMeta{}, nil, nil, err
 	}
-	g, meta, err := DecodeSnapshot(data)
+	g, meta, err = DecodeSnapshot(data)
 	if err != nil {
-		return nil, SnapshotMeta{}, fmt.Errorf("%s: %w", path, err)
+		return nil, SnapshotMeta{}, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return g, meta, nil
+	state, stateErr = DecodeSnapshotState(data)
+	return g, meta, state, stateErr, nil
 }
 
 // syncDir fsyncs a directory so a just-renamed or just-created entry is

@@ -143,7 +143,7 @@ func reseal(data []byte) []byte {
 func TestSnapshotVersionMismatch(t *testing.T) {
 	g := goldenGraph(t, 1)
 	enc := EncodeSnapshot(g, SnapshotMeta{})
-	binary.LittleEndian.PutUint16(enc[4:6], SnapshotVersion+1)
+	binary.LittleEndian.PutUint16(enc[4:6], SnapshotVersionState+1)
 	reseal(enc)
 	if _, _, err := DecodeSnapshot(enc); err == nil {
 		t.Fatal("future version accepted")
@@ -196,15 +196,18 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 	path := filepath.Join(dir, "s.ebws")
 	g := goldenGraph(t, 2)
 	meta := SnapshotMeta{Mode: 1, LazyK: 7, Seq: 42}
-	if err := writeSnapshotFile(path, g, meta, nil); err != nil {
+	if err := writeSnapshotFile(path, g, meta, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
 		t.Fatal("temp file left behind")
 	}
-	dg, dm, err := readSnapshotFile(path)
+	dg, dm, state, stateErr, err := readSnapshotFile(path)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if state != nil || stateErr != nil {
+		t.Fatalf("version-1 snapshot reports state %v (err %v), want none", state, stateErr)
 	}
 	if dm != meta {
 		t.Fatalf("meta = %+v, want %+v", dm, meta)

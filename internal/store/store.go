@@ -41,6 +41,12 @@ const (
 	CrashAfterWALAppend = "after-wal-append"
 	// CrashBeforeCheckpoint fires at checkpoint start (WAL intact).
 	CrashBeforeCheckpoint = "before-checkpoint"
+	// CrashInStateWrite fires inside the snapshot temp-file write, between
+	// the graph part and the maintainer-state section: the temp file is torn
+	// mid-section, exactly as a crash there would leave it. The previous
+	// snapshot still rules (the torn temp is never renamed in), the full WAL
+	// still stands.
+	CrashInStateWrite = "in-state-write"
 	// CrashAfterSnapshotTmp fires after the new snapshot's temp file is
 	// written but before it is renamed into place: the old snapshot still
 	// rules, the full WAL still stands.
@@ -111,7 +117,7 @@ func Create(dir string, g *graph.Graph, meta SnapshotMeta, opts ...Option) (*Sto
 	if err := s.acquireLock(); err != nil {
 		return nil, err
 	}
-	if err := writeSnapshotFile(filepath.Join(dir, snapshotFile), g, meta, s.crash); err != nil {
+	if err := writeSnapshotFile(filepath.Join(dir, snapshotFile), g, meta, nil, s.crash); err != nil {
 		s.releaseLock()
 		os.RemoveAll(dir)
 		return nil, err
@@ -138,6 +144,15 @@ type Recovered struct {
 	// TornBytes is how many trailing WAL bytes were dropped (and truncated
 	// away) because a crash tore the final record; 0 on a clean shutdown.
 	TornBytes int64
+	// State is the snapshot's decoded maintainer-state section, when one was
+	// written (CheckpointWithState) and decoded cleanly — the fast-recovery
+	// input: import it and replay only Tail, skipping the maintainer rebuild.
+	// nil means recover by rebuilding; StateErr distinguishes "the snapshot
+	// never carried state" (nil — every version-1 file) from "the section was
+	// present but unusable" (the decode error). State trouble never fails
+	// Open: the graph part is independently checksummed and still serves.
+	State    *MaintainerState
+	StateErr error
 }
 
 // Open recovers the store in dir: load the snapshot, decode the WAL, repair
@@ -153,11 +168,11 @@ func Open(dir string, opts ...Option) (st *Store, rec *Recovered, err error) {
 			s.releaseLock()
 		}
 	}()
-	g, meta, err := readSnapshotFile(filepath.Join(dir, snapshotFile))
+	g, meta, state, stateErr, err := readSnapshotFile(filepath.Join(dir, snapshotFile))
 	if err != nil {
 		return nil, nil, err
 	}
-	rec = &Recovered{Meta: meta, Graph: g}
+	rec = &Recovered{Meta: meta, Graph: g, State: state, StateErr: stateErr}
 	s.snapSeq = meta.Seq
 	s.seq = meta.Seq
 
@@ -303,13 +318,21 @@ func (s *Store) AppendBatches(specs []BatchSpec) (uint64, error) {
 // the full WAL, or the new snapshot with a WAL whose stale prefix recovery
 // skips by sequence.
 func (s *Store) Checkpoint(g *graph.Graph, meta SnapshotMeta) error {
+	return s.CheckpointWithState(g, meta, nil)
+}
+
+// CheckpointWithState is Checkpoint carrying the maintainer state exported
+// at the same instant as g: the snapshot is written in the version-2 format,
+// and the next recovery can import the state instead of rebuilding it (nil
+// state keeps the version-1 format). The atomicity contract is Checkpoint's.
+func (s *Store) CheckpointWithState(g *graph.Graph, meta SnapshotMeta, st *MaintainerState) error {
 	if s.failed != nil {
 		return fmt.Errorf("store: poisoned by earlier failure: %w", s.failed)
 	}
 	if err := s.crash(CrashBeforeCheckpoint); err != nil {
 		return s.fail(err)
 	}
-	if err := writeSnapshotFile(filepath.Join(s.dir, snapshotFile), g, meta, s.crash); err != nil {
+	if err := writeSnapshotFile(filepath.Join(s.dir, snapshotFile), g, meta, st, s.crash); err != nil {
 		return s.fail(err)
 	}
 	s.snapSeq = meta.Seq
