@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-pr5 bench-pr6 bench-figs bench-smoke fuzz-smoke cover serve fmt lint vet clean
+.PHONY: build test bench bench-pr5 bench-pr6 bench-pr7 bench-figs bench-smoke fuzz-smoke cover serve fmt lint vet clean
 
 build:
 	$(GO) build ./...
@@ -16,15 +16,19 @@ test: vet
 # snapshot-publication rows: full-freeze vs copy-on-write overlay at
 # 1/16/256-edge batches, plus the background compaction cost, and the
 # PR 6 instant-recovery rows: state-carrying checkpoints and fast vs
-# rebuild restart), written to BENCH_PR6.json so the perf trajectory is
-# tracked across PRs.
-bench: bench-pr6
+# rebuild restart, and the PR 7 read-path kernel rows: overlay read tax,
+# degree-relabeled search, hub×hub scalar vs word-parallel intersection),
+# written to BENCH_PR7.json so the perf trajectory is tracked across PRs.
+bench: bench-pr7
 
 bench-pr5: build
 	$(GO) run ./cmd/benchtab -prbench BENCH_PR5.json
 
 bench-pr6: build
 	$(GO) run ./cmd/benchtab -prbench BENCH_PR6.json
+
+bench-pr7: build
+	$(GO) run ./cmd/benchtab -prbench BENCH_PR7.json
 
 # Regenerate the paper's tables and figures (quick grids; -full for the
 # paper's grids). See EXPERIMENTS.md.

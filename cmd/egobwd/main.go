@@ -19,6 +19,9 @@
 //	egobwd -compact-depth 4 -compact-dirty 0.1
 //	                                  # overlay compaction policy: flatten
 //	                                  # the snapshot's delta chain sooner
+//	egobwd -relabel                   # degree-ordered internal relabeling:
+//	                                  # recompute queries run on a hub-first
+//	                                  # CSR, same external ids and results
 //
 // Walkthrough (see README.md for the full API):
 //
@@ -61,6 +64,7 @@ type config struct {
 	flushEvery   time.Duration
 	compactDepth int
 	compactDirty float64
+	relabel      bool
 }
 
 func main() {
@@ -77,6 +81,7 @@ func main() {
 	flag.DurationVar(&cfg.flushEvery, "flush-interval", 0, "group-commit coalescing window: how long the writer waits for more batches after the first arrives (0 = commit whatever is queued immediately)")
 	flag.IntVar(&cfg.compactDepth, "compact-depth", 0, "compact a graph's overlay chain into a fresh base CSR once it is this many layers deep (0 = default 8; 1 compacts after every drain)")
 	flag.Float64Var(&cfg.compactDirty, "compact-dirty", 0, "also compact once the chain's dirty vertices reach this fraction of n (0 = default 0.25)")
+	flag.BoolVar(&cfg.relabel, "relabel", false, "serve recompute top-k queries (algo=opt/base) on a degree-ordered relabeled CSR; external ids and results are unchanged")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -94,6 +99,7 @@ func setup(cfg config) (*server.Server, error) {
 		server.WithWriteQueue(cfg.writeQueue),
 		server.WithFlushInterval(cfg.flushEvery),
 		server.WithCompactPolicy(cfg.compactDepth, cfg.compactDirty),
+		server.WithRelabeling(cfg.relabel),
 	}
 	if cfg.dataDir != "" {
 		regOpts = append(regOpts,

@@ -4,15 +4,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"runtime"
+	"slices"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/dynamic"
 	"repro/internal/ego"
 	"repro/internal/graph"
+	"repro/internal/nbr"
 	"repro/internal/parallel"
 	"repro/internal/store"
 )
@@ -91,6 +94,24 @@ type PRBenchEntry struct {
 	PublishSpeedupB256   float64 `json:"publish_speedup_b256"`
 	OverlayCompactNs     int64   `json:"overlay_compact_ns"`
 	OptOverlayK100Ns     int64   `json:"opt_bsearch_k100_overlay_ns_op"`
+
+	// Read-path kernels (PR 7): the overlay read tax is the chain-walk
+	// penalty an OptBSearch pays on a 256-row overlay relative to the same
+	// search on the frozen base CSR — the clean-vertex fast path (one dirty-
+	// index word test, then the base row) is what keeps it near 1. The
+	// relabel row is the same search on the degree-relabeled twin CSR, with
+	// external-id translation at extraction, and relabel_build_ns what the
+	// compactor pays to construct that twin. The hub rows price one hub×hub
+	// intersection (degree-4096 neighborhoods over a 32Ki-id universe,
+	// sparse common core): the scalar baseline marks one side and probes the
+	// other element-by-element; the word row ANDs the two registers 64 bits
+	// at a time under the block-skipping summary.
+	OptRelabelK100Ns     int64   `json:"opt_bsearch_k100_relabel_ns_op"`
+	RelabelBuildNs       int64   `json:"relabel_build_ns"`
+	OverlayReadTax       float64 `json:"overlay_read_tax"`
+	HubIntersectScalarNs int64   `json:"hub_intersect_scalar_ns_op"`
+	HubIntersectWordNs   int64   `json:"hub_intersect_word_ns_op"`
+	HubWordSpeedup       float64 `json:"hub_word_speedup"`
 }
 
 // PRBench is the bench-regression document (currently BENCH_PR5.json).
@@ -170,6 +191,7 @@ func RunPRBench(names []string) PRBench {
 		measureStore(&e, g, edges)
 		measureWrites(&e, g)
 		measurePublish(&e, g)
+		measureReadPath(&e, g)
 
 		doc.Datasets = append(doc.Datasets, e)
 	}
@@ -352,6 +374,69 @@ func measurePublish(e *PRBenchEntry, g *graph.Graph) {
 	toggle(all, true)
 	e.OverlayCompactNs = int64(timeIt(func() { ov.Materialize(1) }))
 	e.OptOverlayK100Ns = int64(timeIt(func() { ego.OptBSearch(ov, 100, 1.05) }))
+}
+
+// measureReadPath times the PR 7 read-path kernels on dataset graph g: the
+// overlay read tax (derived from the rows measurePublish recorded), the
+// degree-relabeled OptBSearch, and the hub×hub intersection kernels.
+func measureReadPath(e *PRBenchEntry, g *graph.Graph) {
+	if e.OptBSearchK100Ns > 0 {
+		e.OverlayReadTax = float64(e.OptOverlayK100Ns) / float64(e.OptBSearchK100Ns)
+	}
+
+	var rl *graph.Relabeled
+	e.RelabelBuildNs = int64(timeIt(func() { rl = graph.DegreeRelabel(g) }))
+	e.OptRelabelK100Ns = int64(timeIt(func() { ego.OptBSearchLabeled(rl.G, 100, 1.05, rl.Ext) }))
+
+	// Hub×hub kernels, the shape of internal/nbr's BenchmarkHubHub pair:
+	// two degree-4096 neighborhoods over a 32Ki-id universe sharing a
+	// 256-id core. Steady state: registers are marked once, only the
+	// intersection op is on the clock.
+	la, lb := hubPair()
+	ra, rb := nbr.NewRegister(1<<15), nbr.NewRegister(1<<15)
+	ra.Mark(la)
+	rb.Mark(lb)
+	const iters = 2000
+	var dst []int32
+	e.HubIntersectScalarNs = int64(perOp(iters, func() {
+		for i := 0; i < iters; i++ {
+			dst = ra.IntersectInto(dst[:0], lb)
+		}
+	}))
+	e.HubIntersectWordNs = int64(perOp(iters, func() {
+		for i := 0; i < iters; i++ {
+			dst = ra.AndInto(dst[:0], rb)
+		}
+	}))
+	if e.HubIntersectWordNs > 0 {
+		e.HubWordSpeedup = float64(e.HubIntersectScalarNs) / float64(e.HubIntersectWordNs)
+	}
+}
+
+// hubPair builds the two sorted hub neighborhoods of the hub×hub rows.
+func hubPair() ([]int32, []int32) {
+	rng := rand.New(rand.NewPCG(101, 103))
+	draw := func(k int) map[int32]bool {
+		set := make(map[int32]bool, k)
+		for len(set) < k {
+			set[int32(rng.IntN(1<<15))] = true
+		}
+		return set
+	}
+	shared := draw(256)
+	list := func() []int32 {
+		set := draw(3840)
+		for v := range shared {
+			set[v] = true
+		}
+		out := make([]int32, 0, len(set))
+		for v := range set {
+			out = append(out, v)
+		}
+		slices.Sort(out)
+		return out
+	}
+	return list(), list()
 }
 
 // WritePRBench runs the regression suite and writes BENCH-style JSON to

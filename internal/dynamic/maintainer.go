@@ -183,17 +183,43 @@ func (m *Maintainer) InsertEdge(u, v int32) error {
 	m.insertEndpointPairs(u, v, l)
 	m.insertEndpointPairs(v, u, l)
 
-	// Lemma 5: common neighbors w ∈ L.
+	// Lemma 5: common neighbors w ∈ L. A hub endpoint's neighborhood is
+	// marked once into a pooled register, so each of the |L| scans against
+	// it probes in O(d(w)) instead of re-merging the hub list.
+	regU, regV := m.hubRegister(u, len(l)), m.hubRegister(v, len(l))
 	for _, w := range l {
 		keyUV := pairmap.Key(u, v)
 		old := m.getCount(w, keyUV) // exact connector count of (u,v) in GE(w)
 		m.adjust(w, -1/float64(old+1))
 		m.mapFor(w).SetMarker(keyUV) // the pair is adjacent now
 		m.Stats.TouchedPairs++
-		m.commonGains(w, u, v) // pairs (u,x) gain connector v
-		m.commonGains(w, v, u) // pairs (v,x) gain connector u
+		m.commonGains(w, u, v, regV) // pairs (u,x) gain connector v
+		m.commonGains(w, v, u, regU) // pairs (v,x) gain connector u
 	}
+	m.releaseHubRegisters(regU, regV)
 	return nil
+}
+
+// hubRegister returns a pooled register with N(b) marked when b is hub-sized
+// (per nbr.ChooseHub) and its neighborhood will be scanned against at least
+// `scans` times — the break-even for paying the one-time mark. Returns nil
+// otherwise; a non-nil register must go back through releaseHubRegisters.
+func (m *Maintainer) hubRegister(b int32, scans int) *nbr.Register {
+	nb := m.g.Neighbors(b)
+	if scans < 2 || nbr.ChooseHub(len(nb), 0) != nbr.StrategyBitset {
+		return nil
+	}
+	r := nbr.AcquireRegister(m.g.NumVertices())
+	r.Mark(nb)
+	return r
+}
+
+func (m *Maintainer) releaseHubRegisters(regs ...*nbr.Register) {
+	for _, r := range regs {
+		if r != nil {
+			nbr.ReleaseRegister(r)
+		}
+	}
 }
 
 // insertEndpointPairs handles the new pairs (other, x) that appear in GE(p)
@@ -232,9 +258,15 @@ func (m *Maintainer) insertEndpointPairs(p, other int32, l []int32) {
 
 // commonGains applies, for common neighbor w, the Lemma 5 term: every pair
 // (a, x) with x ∈ N(w) ∩ N(b), x ≠ a, (a,x) ∉ E gains the connector b
-// (where {a, b} = {u, v}).
-func (m *Maintainer) commonGains(w, a, b int32) {
-	m.aux = nbr.CommonInto(m.aux[:0], m.g, w, b)
+// (where {a, b} = {u, v}). regB, when non-nil, holds N(b) pre-marked; the
+// register probe emits the identical ascending intersection the merge
+// kernel would, so routing never changes any float operation.
+func (m *Maintainer) commonGains(w, a, b int32, regB *nbr.Register) {
+	if regB != nil {
+		m.aux = regB.IntersectInto(m.aux[:0], m.g.Neighbors(w))
+	} else {
+		m.aux = nbr.CommonInto(m.aux[:0], m.g, w, b)
+	}
 	for _, x := range m.aux {
 		if x == a || m.g.HasEdge(a, x) {
 			continue
@@ -277,7 +309,9 @@ func (m *Maintainer) DeleteEdge(u, v int32) error {
 	m.deleteEndpointPairs(u, v, l)
 	m.deleteEndpointPairs(v, u, l)
 
-	// Lemma 7: common neighbors w ∈ L.
+	// Lemma 7: common neighbors w ∈ L, hub endpoints pre-marked as in
+	// Lemma 5.
+	regU, regV := m.hubRegister(u, len(l)), m.hubRegister(v, len(l))
 	for _, w := range l {
 		// Pair (u, v) becomes non-adjacent in GE(w); its connector count
 		// is |L ∩ N(w)|.
@@ -290,9 +324,10 @@ func (m *Maintainer) DeleteEdge(u, v int32) error {
 		}
 		m.adjust(w, 1/float64(c+1))
 		m.Stats.TouchedPairs++
-		m.commonLosses(w, u, v) // pairs (u,x) lose connector v
-		m.commonLosses(w, v, u) // pairs (v,x) lose connector u
+		m.commonLosses(w, u, v, regV) // pairs (u,x) lose connector v
+		m.commonLosses(w, v, u, regU) // pairs (v,x) lose connector u
 	}
+	m.releaseHubRegisters(regU, regV)
 	return m.g.DeleteEdge(u, v)
 }
 
@@ -324,8 +359,13 @@ func (m *Maintainer) deleteEndpointPairs(p, other int32, l []int32) {
 
 // commonLosses applies, for common neighbor w, the Lemma 7 term: every pair
 // (a, x) with x ∈ N(w) ∩ N(b), x ≠ a, (a,x) ∉ E loses the connector b.
-func (m *Maintainer) commonLosses(w, a, b int32) {
-	m.aux = nbr.CommonInto(m.aux[:0], m.g, w, b)
+// regB as in commonGains.
+func (m *Maintainer) commonLosses(w, a, b int32, regB *nbr.Register) {
+	if regB != nil {
+		m.aux = regB.IntersectInto(m.aux[:0], m.g.Neighbors(w))
+	} else {
+		m.aux = nbr.CommonInto(m.aux[:0], m.g, w, b)
+	}
 	for _, x := range m.aux {
 		if x == a || m.g.HasEdge(a, x) {
 			continue

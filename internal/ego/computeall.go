@@ -76,10 +76,10 @@ func EgoBetweenness(a graph.Adjacency, u int32, s *Scratch) float64 {
 		}
 		s.buf = t[:0]
 	}
-	s.local.Iterate(func(_ uint64, val int32) bool {
-		cb += 1/float64(val+1) - 1
-		return true
-	})
+	// The marker subtractions above are exact integer steps; the connector
+	// terms fold through the canonical histogram, so the result does not
+	// depend on the map's iteration order (and hence on vertex labeling).
+	cb += scoreTerms(s.local)
 	return cb
 }
 

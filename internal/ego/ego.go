@@ -33,6 +33,8 @@
 package ego
 
 import (
+	"slices"
+
 	"repro/internal/graph"
 	"repro/internal/nbr"
 	"repro/internal/pairmap"
@@ -59,20 +61,60 @@ func StaticUB(d int32) float64 {
 // Derivation: start from d(d−1)/2 (every pair contributing 1), subtract 1
 // for each identified adjacent pair (marker), and replace 1 by 1/(c+1) for
 // each pair with c identified connectors.
+// The evidence terms are folded through scoreTerms, so the returned value
+// is a function of the evidence content alone — independent of hash-table
+// iteration order and hence of the internal vertex labeling. This is what
+// lets degree-relabeled serving return bit-identical scores to unrelabeled
+// serving.
 func ScoreEvidence(d int32, s *pairmap.Map) float64 {
-	cb := StaticUB(d)
+	return StaticUB(d) + scoreTerms(s)
+}
+
+// scoreTerms evaluates the evidence adjustments of a map: −1 per marker
+// (adjacent pair) and 1/(c+1) − 1 per pair with c identified connectors.
+// The entries are first accumulated into an exact integer histogram over
+// the connector counts, and the float sum then runs over the histogram in
+// ascending-c order — a canonical evaluation order, so two maps holding
+// the same evidence under different vertex labelings score bitwise
+// identically. A nil map contributes nothing.
+func scoreTerms(s *pairmap.Map) float64 {
 	if s == nil {
-		return cb
+		return 0
 	}
+	var markers int64
+	var small [64]int64
+	var big map[int32]int64
 	s.Iterate(func(_ uint64, val int32) bool {
-		if val == pairmap.Marker {
-			cb--
-		} else {
-			cb += 1/float64(val+1) - 1
+		switch {
+		case val == pairmap.Marker:
+			markers++
+		case val < int32(len(small)):
+			small[val]++
+		default:
+			if big == nil {
+				big = make(map[int32]int64)
+			}
+			big[val]++
 		}
 		return true
 	})
-	return cb
+	adj := -float64(markers)
+	for c, cnt := range small {
+		if cnt != 0 {
+			adj += float64(cnt) * (1/float64(c+1) - 1)
+		}
+	}
+	if big != nil {
+		cs := make([]int32, 0, len(big))
+		for c := range big {
+			cs = append(cs, c)
+		}
+		slices.Sort(cs)
+		for _, c := range cs {
+			adj += float64(big[c]) * (1/float64(c+1) - 1)
+		}
+	}
+	return adj
 }
 
 // evidence is the shared engine: lazily allocated S maps, the global
@@ -151,32 +193,60 @@ func (e *evidence) applyEdge(a, b int32, comm []int32) {
 // (see the package comment), so ScoreEvidence(d(u), S_u) = CB(u).
 //
 // The center's neighborhood N(u) is intersected against every neighbor's
-// list, so for hub centers it is marked once into a pooled bitset register
-// and each scan probes it in O(d(v)); smaller centers stay on the adaptive
-// merge/gallop kernel, which needs no setup.
+// list, so strategy selection runs through nbr.ChooseHub: hub centers are
+// marked once into a pooled bitset register and each scan probes it in
+// O(d(v)); hub×hub pairs additionally mark the neighbor into a second
+// register and intersect word-parallel (AndInto), which also accelerates
+// the neighbor's ego-internal edge scans; smaller centers stay on the
+// adaptive merge/gallop kernel, which needs no setup. Every kernel emits
+// the identical ascending set, so routing never affects any score.
 func (e *evidence) ensureEgo(u int32) {
 	nu := e.g.Neighbors(u)
-	var reg *nbr.Register
-	if len(nu) >= nbr.HubDegree {
+	var reg, reg2 *nbr.Register
+	if nbr.ChooseHub(len(nu), 0) == nbr.StrategyBitset {
 		reg = nbr.AcquireRegister(e.g.NumVertices())
 		reg.Mark(nu)
 		defer nbr.ReleaseRegister(reg)
+		reg2 = nbr.AcquireRegister(e.g.NumVertices())
+		defer nbr.ReleaseRegister(reg2)
 	}
 	for _, v := range nu {
 		// T = N(v) ∩ N(u) serves two roles: it is the common
 		// neighborhood of edge (u, v), and it lists the ego-internal
 		// edges (v, w).
-		if reg != nil {
-			e.comm = reg.IntersectInto(e.comm[:0], e.g.Neighbors(v))
-		} else {
-			e.comm = nbr.IntersectInto(e.comm[:0], e.g.Neighbors(v), nu)
+		nv := e.g.Neighbors(v)
+		vMarked := false
+		switch {
+		case reg != nil && nbr.ChooseHub(len(nu), len(nv)) == nbr.StrategyWord:
+			reg2.Unmark()
+			reg2.Mark(nv)
+			vMarked = true
+			// Word AND when the summary scan is cheaper than probing
+			// N(v) element-by-element; the spans shrink with relabeling.
+			minSpan := reg.SpanWords()
+			if s2 := reg2.SpanWords(); s2 < minSpan {
+				minSpan = s2
+			}
+			if int(minSpan>>6) <= len(nv) {
+				e.comm = reg.AndInto(e.comm[:0], reg2)
+			} else {
+				e.comm = reg.IntersectInto(e.comm[:0], nv)
+			}
+		case reg != nil:
+			e.comm = reg.IntersectInto(e.comm[:0], nv)
+		default:
+			e.comm = nbr.IntersectInto(e.comm[:0], nv, nu)
 		}
 		if e.processed.Insert(pairmap.Key(u, v)) {
 			e.applyEdge(u, v, e.comm)
 		}
 		for _, w := range e.comm {
 			if w > v && e.processed.Insert(pairmap.Key(v, w)) {
-				e.comm2 = nbr.CommonInto(e.comm2[:0], e.g, v, w)
+				if vMarked {
+					e.comm2 = reg2.IntersectInto(e.comm2[:0], e.g.Neighbors(w))
+				} else {
+					e.comm2 = nbr.CommonInto(e.comm2[:0], e.g, v, w)
+				}
 				e.applyEdge(v, w, e.comm2)
 			}
 		}

@@ -38,10 +38,20 @@ type SearchStats struct {
 // (·, connector, w) only when x > w, so across the diamond's two triangles
 // exactly one credit fires.
 func BaseBSearch(g graph.View, k int) ([]Result, SearchStats) {
+	return BaseBSearchLabeled(g, k, nil)
+}
+
+// BaseBSearchLabeled is BaseBSearch on an internally relabeled graph whose
+// external labels are ext (ext[v] = external id of internal vertex v, as in
+// graph.Relabeled.Ext). The total order, the orientation, and every score
+// tie-break run on external labels, and results carry external ids — so the
+// output is bitwise identical to BaseBSearch on the unrelabeled graph. A nil
+// ext means identity labels.
+func BaseBSearchLabeled(g graph.View, k int, ext []int32) ([]Result, SearchStats) {
 	var st SearchStats
-	r := topk.NewBounded(k)
-	order := graph.OrderOf(g)
-	o := graph.Orient(g)
+	r := topk.NewBoundedLabeled(k, ext)
+	order := graph.OrderOfLabeled(g, ext)
+	o := graph.OrientLabeled(g, ext)
 	maps := make([]*pairmap.Map, g.NumVertices())
 	done := make([]bool, g.NumVertices())
 	mapFor := func(v int32) *pairmap.Map {
@@ -109,7 +119,7 @@ func BaseBSearch(g graph.View, k int) ([]Result, SearchStats) {
 		maps[u] = nil
 		st.Computed++
 	}
-	return toResults(r), st
+	return toResultsLabeled(r, ext), st
 }
 
 // OptBSearch is Algorithm 2: top-k search under the dynamic Lemma 3 bound.
@@ -120,14 +130,23 @@ func BaseBSearch(g graph.View, k int) ([]Result, SearchStats) {
 // instead of being computed. θ trades bound-refresh cost against exact
 // computations; the paper's default is 1.05.
 func OptBSearch(g graph.View, k int, theta float64) ([]Result, SearchStats) {
+	return OptBSearchLabeled(g, k, theta, nil)
+}
+
+// OptBSearchLabeled is OptBSearch on an internally relabeled graph whose
+// external labels are ext (see BaseBSearchLabeled). The candidate heap pops
+// score ties by external label and results carry external ids, so the whole
+// search trajectory — and the output — is bitwise identical to OptBSearch on
+// the unrelabeled graph. A nil ext means identity labels.
+func OptBSearchLabeled(g graph.View, k int, theta float64, ext []int32) ([]Result, SearchStats) {
 	if theta < 1 {
 		theta = 1
 	}
 	var st SearchStats
 	e := newEvidence(g)
-	r := topk.NewBounded(k)
+	r := topk.NewBoundedLabeled(k, ext)
 	n := g.NumVertices()
-	h := topk.NewMaxHeap(int(n))
+	h := topk.NewMaxHeapLabeled(int(n), ext)
 	for v := int32(0); v < n; v++ {
 		h.Push(v, StaticUB(g.Degree(v)))
 	}
@@ -158,7 +177,7 @@ func OptBSearch(g graph.View, k int, theta float64) ([]Result, SearchStats) {
 	}
 	st.EdgesProcessed = e.EdgesProcessed
 	st.CreditOps = e.CreditOps
-	return toResults(r), st
+	return toResultsLabeled(r, ext), st
 }
 
 // TopKExact is the straightforward baseline: compute every vertex exactly
@@ -193,10 +212,21 @@ func TopKOfScores(scores []float64, k int) []Result {
 }
 
 func toResults(r *topk.Bounded) []Result {
+	return toResultsLabeled(r, nil)
+}
+
+// toResultsLabeled extracts results translated to external ids. The Bounded
+// must have been constructed with the same ext, so its tie-sort already ran
+// on external labels and the translated list stays ordered.
+func toResultsLabeled(r *topk.Bounded, ext []int32) []Result {
 	items := r.Results()
 	out := make([]Result, len(items))
 	for i, it := range items {
-		out[i] = Result{V: it.V, CB: it.Score}
+		v := it.V
+		if ext != nil {
+			v = ext[v]
+		}
+		out[i] = Result{V: v, CB: it.Score}
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Overlay is a copy-on-write read view: an immutable base CSR plus a short
@@ -26,11 +27,52 @@ type Overlay struct {
 	depth  int32
 	dirty  int // Σ layer sizes down the chain (upper bound on distinct dirty vertices)
 
+	// idx is the dirty index shared by every overlay layered (transitively)
+	// on the same base: one bit per base vertex, set when any layer of the
+	// family rebuilt that vertex. A clean bit proves the base row is
+	// current, so the overwhelming majority of reads at realistic batch
+	// sizes cost one word test before falling through to the base CSR —
+	// no per-layer map probes.
+	idx *dirtyIndex
+
 	// maxDeg is computed on first demand: deletions can lower the maximum
 	// below the base's, so the exact value needs an O(n) scan, which only
 	// the statistics path wants.
 	maxDegOnce sync.Once
 	maxDeg     int32
+}
+
+// dirtyIndex is a grow-only bitset over base vertex ids, shared across an
+// overlay chain family. Writers OR bits in while publishing a new layer
+// (atomically — readers of previously published overlays in the family may
+// probe concurrently); readers treat a set bit as "walk the delta chain".
+// Bits are never cleared, so a reader of an older overlay can see a bit
+// set by a newer layer it doesn't contain — a false positive that only
+// routes the read through the (correct) slow path.
+type dirtyIndex struct {
+	words []uint64
+	limit int32 // ids ≥ limit (grown past the base) take the slow path
+}
+
+func newDirtyIndex(n int32) *dirtyIndex {
+	return &dirtyIndex{words: make([]uint64, (int(n)+63)>>6), limit: n}
+}
+
+// markAll sets the bits of every vertex rebuilt by a new layer.
+func (d *dirtyIndex) markAll(delta map[int32][]int32) {
+	for v := range delta {
+		if uint32(v) < uint32(d.limit) {
+			atomic.OrUint64(&d.words[uint32(v)>>6], 1<<(uint32(v)&63))
+		}
+	}
+}
+
+// clean reports whether v is covered by the index and untouched by every
+// layer of the family — in which case the base adjacency is authoritative.
+// The unsigned compare sends negative ids down the slow path unchanged.
+func (d *dirtyIndex) clean(v int32) bool {
+	return uint32(v) < uint32(d.limit) &&
+		atomic.LoadUint64(&d.words[uint32(v)>>6])&(1<<(uint32(v)&63)) == 0
 }
 
 // NewOverlay layers delta on a previous view, which must be either a frozen
@@ -47,14 +89,17 @@ func NewOverlay(prev View, n int32, m int64, delta map[int32][]int32) *Overlay {
 		o.base = p
 		o.depth = 1
 		o.dirty = len(delta)
+		o.idx = newDirtyIndex(p.n)
 	case *Overlay:
 		o.base = p.base
 		o.parent = p
 		o.depth = p.depth + 1
 		o.dirty = p.dirty + len(delta)
+		o.idx = p.idx
 	default:
 		panic(fmt.Sprintf("graph: overlay base must be *Graph or *Overlay, got %T", prev))
 	}
+	o.idx.markAll(delta)
 	return o
 }
 
@@ -81,7 +126,15 @@ func (o *Overlay) NumEdges() int64 { return o.m }
 // Neighbors returns the sorted neighbor list of v: the newest delta that
 // rebuilt v wins, otherwise the base list. Callers must not modify the
 // returned slice.
+//
+// Vertices untouched by every layer of the chain family — the overwhelming
+// majority at realistic batch sizes — resolve through the shared dirty
+// index in one word test, returning the base CSR slice without walking the
+// chain or probing any delta map.
 func (o *Overlay) Neighbors(v int32) []int32 {
+	if o.idx.clean(v) {
+		return o.base.Neighbors(v)
+	}
 	for l := o; l != nil; l = l.parent {
 		if nbrs, ok := l.delta[v]; ok {
 			return nbrs

@@ -2,7 +2,7 @@
 // hot path of the reproduction — the evidence engine behind the top-k
 // searches, the dynamic maintainers' local repair scans, and the parallel
 // PEBW workers — bottoms out in common-neighbor intersection over sorted
-// adjacency lists. This package implements that core once, with three
+// adjacency lists. This package implements that core once, with four
 // strategies selected adaptively:
 //
 //   - linear merge for size-balanced lists: one pass over both, O(|a|+|b|);
@@ -11,14 +11,32 @@
 //   - bitset registers for hub centers: the center's neighborhood is marked
 //     once into a pooled bitset, and every subsequent intersection against
 //     it costs O(|other|) probes — amortizing the marking cost across all
-//     of the center's pair scans.
+//     of the center's pair scans;
+//   - word-parallel AND for hub×hub pairs: with both neighborhoods marked
+//     into Registers, AndInto/AndCount intersect 64 vertices per machine
+//     word (OnesCount64/TrailingZeros64) and a one-bit-per-word summary
+//     skips empty 64-word blocks, so sparse intersections never touch the
+//     gaps between hub neighborhoods.
 //
-// All three strategies produce the identical ascending result set, so
+// All four strategies produce the identical ascending result set, so
 // swapping one for another never changes any downstream score — the kernels
 // differ only in how they walk the inputs, not in what they emit.
+//
+// Caller contract for strategy selection: the pairwise entry points
+// (IntersectInto, IntersectCount, ForEachCommon, the view-level Common*)
+// dispatch only between linear and gallop — Choose never returns
+// StrategyBitset or StrategyWord, because both register strategies carry a
+// marking cost that only a caller looping over many intersections of the
+// same side can amortize. Such callers decide centrally through
+// ChooseHub(la, lb): StrategyWord means "mark both sides, run the
+// word-parallel AND", StrategyBitset means "mark the hub side once, probe
+// the rest", and anything else defers to the pairwise kernels. Passing 0
+// for one length asks about a single amortizable side.
 //
 // The package is a leaf: it depends on nothing else in the repository, so
 // every layer (graph, ego, dynamic, parallel, server) can use it without
 // import cycles. Registers and scratch buffers are pooled (sync.Pool), so
-// steady-state callers allocate nothing.
+// steady-state callers allocate nothing; Register.Unmark is O(1) via an
+// epoch counter, so recycling a register costs nothing even after marking
+// millions of vertices.
 package nbr

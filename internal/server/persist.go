@@ -112,7 +112,16 @@ func (e *entry) maybeCheckpoint(ckptBatches int, ckptBytes int64, batches int) e
 	if e.sinceCkpt < ckptBatches && e.st.WALBytes() < ckptBytes {
 		return nil
 	}
-	if err := e.st.CheckpointWithState(e.fullGraphLocked(), e.persistMeta(e.st.Seq()), e.maintainerState()); err != nil {
+	// fullGraphLocked also (re)attaches the relabeling to the published
+	// snapshot when the entry relabels, so the permutation checkpointed here
+	// is exactly the layout the recompute queries serve with — recovery
+	// restores both from the same section.
+	g := e.fullGraphLocked()
+	var perm []int32
+	if rl := e.snap.Load().relab; rl != nil {
+		perm = rl.Perm
+	}
+	if err := e.st.CheckpointSections(g, e.persistMeta(e.st.Seq()), e.maintainerState(), perm); err != nil {
 		return err
 	}
 	e.sinceCkpt = 0
@@ -248,8 +257,10 @@ func (r *Registry) recoverOne(name string) (GraphInfo, error) {
 	// The epoch restarts at wal-seq+1, so it keeps advancing with the
 	// batch sequence across restarts instead of snapping back to 1. The
 	// recovered view is a fully compacted CSR: replay dirtied state that no
-	// previous publication exists to overlay on.
-	s := e.buildFullSnapshot(st.Seq() + 1)
+	// previous publication exists to overlay on. The checkpointed relabel
+	// permutation (if any, and still a bijection after the tail replay)
+	// restores the exact pre-crash internal layout.
+	s := e.buildFullSnapshot(st.Seq()+1, rec.Perm)
 	s.publishDur = time.Since(t0)
 	e.lastCompactNs.Store(s.publishDur.Nanoseconds())
 	e.snap.Store(s)

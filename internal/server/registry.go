@@ -53,6 +53,16 @@ type snapshot struct {
 	view   graph.View // *graph.Graph or *graph.Overlay
 	scores *scoreVec  // exact CB per vertex at this epoch; nil in ModeLazy
 
+	// relab is the degree-ordered relabeling of view (DESIGN.md §12),
+	// non-nil only when the entry runs with relabeling and the view is a
+	// fully compacted *graph.Graph — overlay snapshots keep it nil and the
+	// search algorithms fall back to the external-id view. The recompute
+	// algorithms (AlgoOpt/AlgoBase) run their kernels on relab.G, where hubs
+	// occupy a dense low-id prefix, and translate back to external ids
+	// through relab.Ext at extraction; everything else (scores, per-vertex
+	// reads, stats, updates) stays in external-id space and never sees it.
+	relab *graph.Relabeled
+
 	// publishDur is how long this snapshot's publication took (the initial
 	// all-vertices computation for epoch 1, the O(batch) overlay
 	// publication for later epochs) and buildWorkers the worker budget the
@@ -67,14 +77,16 @@ type snapshot struct {
 }
 
 // withView copies the snapshot's identity — epoch, scores, publication
-// telemetry — onto a different view of the same graph. Compaction uses it
-// to swap an overlay for its flattened CSR without changing what the
-// snapshot answers. The result cache starts empty (sync.Map is not
-// copyable); the entries were computed against an equivalent view, but
-// re-deriving them is cheaper than a cache scheme that outlives snapshots.
-func (s *snapshot) withView(v graph.View) *snapshot {
+// telemetry — onto a different view of the same graph, carrying the
+// relabeling that matches the new view (nil when it is an overlay).
+// Compaction uses it to swap an overlay for its flattened CSR without
+// changing what the snapshot answers. The result cache starts empty
+// (sync.Map is not copyable); the entries were computed against an
+// equivalent view, but re-deriving them is cheaper than a cache scheme
+// that outlives snapshots.
+func (s *snapshot) withView(v graph.View, relab *graph.Relabeled) *snapshot {
 	return &snapshot{
-		epoch: s.epoch, view: v, scores: s.scores,
+		epoch: s.epoch, view: v, scores: s.scores, relab: relab,
 		publishDur: s.publishDur, buildWorkers: s.buildWorkers,
 	}
 }
@@ -174,7 +186,8 @@ func (w *writeReq) reply(res UpdateResult, err error) {
 type entry struct {
 	name    string
 	mode    string
-	workers int // snapshot-build worker budget (≥ 1)
+	workers int  // snapshot-build worker budget (≥ 1)
+	relabel bool // degree-ordered relabeling on compacted views (DESIGN.md §12)
 
 	// Compaction policy (DESIGN.md §10): flatten the overlay chain into a
 	// fresh base CSR once its depth or its dirty-vertex share of n crosses
@@ -314,6 +327,9 @@ type Registry struct {
 	compactDepth int
 	compactDirty float64
 
+	// Degree-ordered relabeling (DESIGN.md §12).
+	relabel bool
+
 	// Persistence (DESIGN.md §8). Empty dataDir means in-memory only.
 	dataDir     string
 	ckptBatches int
@@ -409,6 +425,20 @@ func WithCompactPolicy(maxDepth int, dirtyRatio float64) RegistryOption {
 	}
 }
 
+// WithRelabeling toggles degree-ordered vertex relabeling on graphs this
+// registry serves (DESIGN.md §12). When on, every fully compacted snapshot
+// carries a permuted twin of its CSR in which vertices are renumbered by
+// non-increasing degree, so hubs occupy a dense low-id prefix: bitset
+// registers mark and intersect over short spans and the hottest adjacency
+// rows pack together. The recompute top-k algorithms (algo=opt, algo=base)
+// run on the permuted CSR and translate back at extraction; external ids —
+// what updates name and queries return — never change, and results are
+// bitwise identical with relabeling on or off. Checkpoints persist the
+// permutation so recovery reuses the exact internal layout.
+func WithRelabeling(on bool) RegistryOption {
+	return func(r *Registry) { r.relabel = on }
+}
+
 // WithCrashHook installs a crash-injection hook on every graph store,
 // invoked at each durability point with the graph name; a non-nil return
 // aborts the operation exactly there, leaving the files as a real crash
@@ -451,6 +481,7 @@ func NewRegistry(opts ...RegistryOption) *Registry {
 func (r *Registry) newEntry(name, mode string) *entry {
 	return &entry{
 		name: name, mode: mode, workers: r.workers,
+		relabel:    r.relabel,
 		maxDepth:   r.compactDepth,
 		dirtyRatio: r.compactDirty,
 		queue:      make(chan *writeReq, r.queueCap),
@@ -516,6 +547,7 @@ func (r *Registry) Add(name string, g *graph.Graph, mode string, lazyK int) (Gra
 	e := r.newEntry(name, mode)
 	first := &snapshot{epoch: 1, view: g, buildWorkers: e.workers}
 	t0 := time.Now()
+	first.relab = e.makeRelab(g)
 	if mode == ModeLocal {
 		e.local = dynamic.NewMaintainerParallel(g, e.workers)
 		first.scores = newScoreVec(e.local.All())
@@ -643,6 +675,11 @@ type GraphInfo struct {
 	CompactMS       float64 `json:"compact_ms"`
 	SnapshotBuildMS float64 `json:"snapshot_build_ms"` // deprecated alias of compact_ms
 
+	// Relabeled reports whether the graph serves with degree-ordered
+	// relabeling (DESIGN.md §12): recompute queries run on a permuted CSR
+	// whose dense low ids are the hubs, translated back at extraction.
+	Relabeled bool `json:"relabeled,omitempty"`
+
 	// Overlay accounting (DESIGN.md §10): how many delta layers the served
 	// view stacks on its base CSR (0 = fully compacted), the dirty-vertex
 	// total across those layers, how many compactions have folded the chain
@@ -694,6 +731,7 @@ func (e *entry) infoAt(s *snapshot) GraphInfo {
 	gi := GraphInfo{
 		Name: e.name, Mode: e.mode, Epoch: s.epoch,
 		N: s.view.NumVertices(), M: s.view.NumEdges(),
+		Relabeled:        e.relabel,
 		BuildWorkers:     s.buildWorkers,
 		PublishMS:        float64(s.publishDur.Microseconds()) / 1000,
 		CompactMS:        compactMS,
@@ -851,9 +889,17 @@ func (r *Registry) TopK(name string, k int, algo string, theta float64) (TopKRes
 		}
 		res = ego.TopKOf(snap.scores.Len(), snap.scores.At, k)
 	case AlgoOpt:
-		res, _ = ego.OptBSearch(snap.view, k, theta)
+		if rl := snap.relab; rl != nil {
+			res, _ = ego.OptBSearchLabeled(rl.G, k, theta, rl.Ext)
+		} else {
+			res, _ = ego.OptBSearch(snap.view, k, theta)
+		}
 	case AlgoBase:
-		res, _ = ego.BaseBSearch(snap.view, k)
+		if rl := snap.relab; rl != nil {
+			res, _ = ego.BaseBSearchLabeled(rl.G, k, rl.Ext)
+		} else {
+			res, _ = ego.BaseBSearch(snap.view, k)
+		}
 	case AlgoLazy:
 		if e.lazy == nil {
 			return TopKResult{}, fmt.Errorf("server: algo %q needs mode %q (graph %q is %q)", AlgoLazy, ModeLazy, name, e.mode)
@@ -1268,17 +1314,48 @@ func (e *entry) publishLocked(epoch uint64) {
 	e.snap.Store(s)
 }
 
+// makeRelab builds the degree-ordered relabeling of a fully compacted view,
+// or nil when the entry does not relabel. O(n log n + m); callers decide
+// whether that runs under e.mu (checkpoint-forced flattens, recovery) or
+// off-lock (the background compactor).
+func (e *entry) makeRelab(g *graph.Graph) *graph.Relabeled {
+	if !e.relabel {
+		return nil
+	}
+	return graph.DegreeRelabel(g)
+}
+
+// relabFromPerm prefers a persisted permutation over recomputing the degree
+// order, so a recovered graph serves with the exact pre-crash internal
+// layout. An unusable permutation (wrong n after WAL replay grew the graph,
+// or a corrupt section that decoded to a non-bijection) falls back to
+// DegreeRelabel — any bijection serves correctly, so the fallback is never
+// wrong, just a fresh layout.
+func (e *entry) relabFromPerm(g *graph.Graph, perm []int32) *graph.Relabeled {
+	if !e.relabel {
+		return nil
+	}
+	if len(perm) > 0 {
+		if rl, err := graph.RelabelFromPerm(g, perm); err == nil {
+			return rl
+		}
+	}
+	return graph.DegreeRelabel(g)
+}
+
 // buildFullSnapshot freezes the maintainer's current graph (and, in
 // ModeLocal, its exact scores) into a fully compacted snapshot — a
 // standalone CSR, no overlay. Recovery uses it to seed the first published
-// view; the steady-state write path publishes overlays instead. It resets
-// the maintainer's dirty tracking, which the freeze subsumes. Callers must
-// hold e.mu or own the entry exclusively.
-func (e *entry) buildFullSnapshot(epoch uint64) *snapshot {
+// view, passing the checkpointed permutation (if any) so the internal
+// layout round-trips; the steady-state write path publishes overlays
+// instead. It resets the maintainer's dirty tracking, which the freeze
+// subsumes. Callers must hold e.mu or own the entry exclusively.
+func (e *entry) buildFullSnapshot(epoch uint64, perm []int32) *snapshot {
 	t0 := time.Now()
 	dyn := e.dyn()
 	dyn.TakeDirty()
-	s := &snapshot{epoch: epoch, view: dyn.Freeze(e.workers), buildWorkers: e.workers}
+	g := dyn.Freeze(e.workers)
+	s := &snapshot{epoch: epoch, view: g, relab: e.relabFromPerm(g, perm), buildWorkers: e.workers}
 	if e.local != nil {
 		e.local.TakeDirtyScores()
 		s.scores = newScoreVec(e.local.All())
@@ -1325,6 +1402,10 @@ func (e *entry) compact(snap *snapshot) {
 	}
 	t0 := time.Now()
 	g := ov.Materialize(e.workers)
+	// The relabeling is O(n log n + m) like the flatten itself, so it is
+	// built here, off-lock, and discarded on the rebase path (where the
+	// published view stays an overlay).
+	relab := e.makeRelab(g)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.compacting.Store(false)
@@ -1345,11 +1426,11 @@ func (e *entry) compact(snap *snapshot) {
 		if !ok {
 			return // a checkpoint-forced compaction already replaced the chain
 		}
-		nview = v
+		nview, relab = v, nil // still an overlay: no relabeled twin
 	} else {
 		return // already a full CSR
 	}
-	e.snap.Store(cur.withView(nview))
+	e.snap.Store(cur.withView(nview, relab))
 	e.compactions.Add(1)
 	e.lastCompactNs.Store(time.Since(t0).Nanoseconds())
 }
@@ -1366,7 +1447,7 @@ func (e *entry) fullGraphLocked() *graph.Graph {
 	}
 	t0 := time.Now()
 	g := s.overlay().Materialize(e.workers)
-	e.snap.Store(s.withView(g))
+	e.snap.Store(s.withView(g, e.makeRelab(g)))
 	e.compactions.Add(1)
 	e.lastCompactNs.Store(time.Since(t0).Nanoseconds())
 	return g

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"repro/internal/ego"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// The relabeling equivalence property at the serving layer (DESIGN.md §12):
+// degree-ordered relabeling is a pure representation change, so two
+// registries serving the same update stream — one relabeling, one not —
+// must return byte-identical external-id top-k answers for every k, algo,
+// and maintenance mode, and keep doing so after a checkpoint + recovery
+// cycle restores the permuted layout from the snapshot's EBRL section.
+
+// relabelAlgoGrid enumerates the (k, algo, θ) query shapes compared between
+// the plain and relabeled registries for one maintenance mode.
+func relabelAlgoGrid(mode string) []struct {
+	k     int
+	algo  string
+	theta float64
+} {
+	var grid []struct {
+		k     int
+		algo  string
+		theta float64
+	}
+	algos := []string{AlgoOpt, AlgoBase}
+	if mode == ModeLocal {
+		algos = append(algos, AlgoScores)
+	} else {
+		algos = append(algos, AlgoLazy)
+	}
+	for _, k := range []int{1, 5, 10} {
+		for _, algo := range algos {
+			thetas := []float64{1.05}
+			if algo == AlgoOpt {
+				thetas = []float64{1.05, 2.0}
+			}
+			for _, th := range thetas {
+				grid = append(grid, struct {
+					k     int
+					algo  string
+					theta float64
+				}{k, algo, th})
+			}
+		}
+	}
+	return grid
+}
+
+// assertBitIdentical requires the two result slices to agree exactly:
+// same external vertices in the same order, scores equal down to the bit.
+func assertBitIdentical(t *testing.T, label string, plain, relab []ego.Result) {
+	t.Helper()
+	if len(plain) != len(relab) {
+		t.Fatalf("%s: plain returned %d results, relabeled %d", label, len(plain), len(relab))
+	}
+	for i := range plain {
+		if plain[i].V != relab[i].V {
+			t.Fatalf("%s: rank %d vertex %d (plain) vs %d (relabeled)\nplain %v\nrelab %v",
+				label, i, plain[i].V, relab[i].V, plain, relab)
+		}
+		if math.Float64bits(plain[i].CB) != math.Float64bits(relab[i].CB) {
+			t.Fatalf("%s: rank %d score %.17g (plain) vs %.17g (relabeled) — not bitwise equal",
+				label, i, plain[i].CB, relab[i].CB)
+		}
+	}
+}
+
+// compareRegistries runs the full query grid against both registries and
+// requires bit-identical answers.
+func compareRegistries(t *testing.T, plain, relab *Registry, mode, stage string) {
+	t.Helper()
+	for _, q := range relabelAlgoGrid(mode) {
+		pr, err := plain.TopK("g", q.k, q.algo, q.theta)
+		if err != nil {
+			t.Fatalf("%s: plain TopK(k=%d, %s, θ=%v): %v", stage, q.k, q.algo, q.theta, err)
+		}
+		rr, err := relab.TopK("g", q.k, q.algo, q.theta)
+		if err != nil {
+			t.Fatalf("%s: relabeled TopK(k=%d, %s, θ=%v): %v", stage, q.k, q.algo, q.theta, err)
+		}
+		assertBitIdentical(t, fmt.Sprintf("%s k=%d algo=%s θ=%v", stage, q.k, q.algo, q.theta),
+			pr.Results, rr.Results)
+	}
+	// Per-vertex reads stay in external-id space on both sides.
+	n := int32(0)
+	if info, err := relab.Info("g"); err == nil {
+		n = info.N
+	}
+	for v := int32(0); v < n; v += 7 {
+		pv, err := plain.EgoBetweenness("g", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rv, err := relab.EgoBetweenness("g", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(pv.CB) != math.Float64bits(rv.CB) || pv.Degree != rv.Degree {
+			t.Fatalf("%s: vertex %d (cb=%v°%d plain, cb=%v°%d relabeled)",
+				stage, v, pv.CB, pv.Degree, rv.CB, rv.Degree)
+		}
+	}
+}
+
+// servedRelab returns the relabeling attached to the currently published
+// snapshot of graph name, or nil.
+func servedRelab(t *testing.T, reg *Registry, name string) *graph.Relabeled {
+	t.Helper()
+	e, err := reg.get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.snap.Load().relab
+}
+
+func TestRelabelServingEquivalence(t *testing.T) {
+	const nBatches = 12
+	for _, mode := range []string{ModeLocal, ModeLazy} {
+		t.Run(mode, func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(5, 0x7E1A))
+			base := gen.BarabasiAlbert(80, 3, 5)
+			script := makeScript(rng, graph.DynFromGraph(base), nBatches)
+
+			// Checkpoint every batch: each drain forces a synchronous
+			// compaction, so the relabeled registry actually serves the
+			// permuted CSR (overlay snapshots keep relab nil by design).
+			plainDir, relabDir := t.TempDir(), t.TempDir()
+			plain := durableRegistry(plainDir, WithCheckpointPolicy(1, 1<<30))
+			relab := durableRegistry(relabDir, WithCheckpointPolicy(1, 1<<30), WithRelabeling(true))
+			for _, reg := range []*Registry{plain, relab} {
+				if _, err := reg.Add("g", base, mode, 10); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if info, _ := relab.Info("g"); !info.Relabeled {
+				t.Fatal("relabeled registry does not report Relabeled")
+			}
+			if info, _ := plain.Info("g"); info.Relabeled {
+				t.Fatal("plain registry reports Relabeled")
+			}
+			if servedRelab(t, relab, "g") == nil {
+				t.Fatal("initial snapshot of the relabeling registry carries no relabeling")
+			}
+			if servedRelab(t, plain, "g") != nil {
+				t.Fatal("plain registry snapshot carries a relabeling")
+			}
+
+			compareRegistries(t, plain, relab, mode, "initial")
+			for i, sb := range script {
+				for _, reg := range []*Registry{plain, relab} {
+					if _, err := reg.ApplyEdges("g", sb.edges, sb.insert); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if i%3 == 2 {
+					compareRegistries(t, plain, relab, mode, fmt.Sprintf("batch %d", i))
+				}
+			}
+			// The per-batch checkpoints force compaction, so by the end the
+			// relabeled registry must be serving the permuted twin.
+			rl := servedRelab(t, relab, "g")
+			if rl == nil {
+				t.Fatal("relabeling registry never served a relabeled snapshot")
+			}
+			permBefore := slices.Clone(rl.Perm)
+
+			// Restart both registries: the relabeled one must come back
+			// serving a permuted layout restored from the checkpoint's EBRL
+			// section (the WAL tail is empty — every batch checkpointed — so
+			// the persisted permutation is still a valid bijection).
+			if err := plain.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := relab.Close(); err != nil {
+				t.Fatal(err)
+			}
+			plain2 := durableRegistry(plainDir, WithCheckpointPolicy(1, 1<<30))
+			relab2 := durableRegistry(relabDir, WithCheckpointPolicy(1, 1<<30), WithRelabeling(true))
+			if _, err := plain2.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := relab2.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			rl2 := servedRelab(t, relab2, "g")
+			if rl2 == nil {
+				t.Fatal("recovered relabeling registry serves no relabeling")
+			}
+			if !slices.Equal(rl2.Perm, permBefore) {
+				t.Fatalf("recovered permutation differs from the checkpointed one\nbefore %v\nafter  %v",
+					permBefore, rl2.Perm)
+			}
+			compareRegistries(t, plain2, relab2, mode, "recovered")
+
+			// And the recovered answers still match a clean recompute.
+			assertRecovered(t, relab2, "g", mode, stateAfter(base, script, nBatches))
+			if err := plain2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := relab2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRelabelRecoveryFallback pins the fallback: when WAL-tail replay grows
+// the graph past the checkpointed permutation, recovery must discard the
+// stale permutation and serve a freshly computed degree order — never a
+// broken translation.
+func TestRelabelRecoveryFallback(t *testing.T) {
+	dir := t.TempDir()
+	base := gen.BarabasiAlbert(60, 3, 9)
+	// Checkpoint on the first batch only (policy 2: Add's creation snapshot
+	// is not a checkpoint; the second batch stays in the WAL tail).
+	reg := durableRegistry(dir, WithCheckpointPolicy(2, 1<<30), WithRelabeling(true))
+	if _, err := reg.Add("g", base, ModeLocal, 0); err != nil {
+		t.Fatal(err)
+	}
+	n := base.NumVertices()
+	if _, err := reg.ApplyEdges("g", [][2]int32{{0, 1}}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.ApplyEdges("g", [][2]int32{{1, 0}}, true); err != nil {
+		t.Fatal(err)
+	}
+	// This batch grows the vertex set past the checkpointed permutation and
+	// stays in the WAL tail.
+	if _, err := reg.ApplyEdges("g", [][2]int32{{n, n + 1}}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reborn := durableRegistry(dir, WithCheckpointPolicy(2, 1<<30), WithRelabeling(true))
+	if _, err := reborn.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	rl := servedRelab(t, reborn, "g")
+	if rl == nil {
+		t.Fatal("recovered registry serves no relabeling")
+	}
+	if got := rl.G.NumVertices(); got != n+2 {
+		t.Fatalf("relabeled twin has n=%d, want %d", got, n+2)
+	}
+	if len(rl.Perm) != int(n+2) {
+		t.Fatalf("served permutation covers %d vertices, want %d", len(rl.Perm), n+2)
+	}
+	mirror := graph.DynFromGraph(base)
+	_ = mirror.DeleteEdge(0, 1)
+	_ = mirror.InsertEdge(1, 0)
+	_ = mirror.InsertEdge(n, n+1)
+	assertRecovered(t, reborn, "g", ModeLocal, mirror.Freeze(1))
+	if err := reborn.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -36,7 +36,57 @@ func fuzzSnapshotSeeds() [][]byte {
 		flipped,
 		snapMagic[:],
 		fuzzStateSeeds()[0], // a version-2 image: both decoders see it
+		fuzzPermSeeds()[1],  // a version-2 image with state and perm sections
 	}
+}
+
+// fuzzPermSeeds are the FuzzDecodeSnapshotPerm starting points: version-2
+// images carrying the relabel section alone and alongside maintainer state,
+// a torn and a bit-flipped one, a version-1 file (no section — must decode
+// to nil, nil), and bare magic.
+func fuzzPermSeeds() [][]byte {
+	g, _ := graph.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	perm := []int32{2, 0, 3, 1}
+	permOnly := EncodeSnapshotSections(g, SnapshotMeta{Seq: 3}, nil, perm)
+	m := dynamic.NewMaintainer(g)
+	both := EncodeSnapshotSections(g, SnapshotMeta{Seq: 5},
+		&MaintainerState{Local: m.ExportState()}, perm)
+	torn := permOnly[:len(permOnly)-5]
+	flipped := append([]byte(nil), both...)
+	flipped[len(flipped)-3] ^= 0x40
+	return [][]byte{
+		permOnly,
+		both,
+		torn,
+		flipped,
+		EncodeSnapshot(g, SnapshotMeta{}),
+		permMagic[:],
+	}
+}
+
+// FuzzDecodeSnapshotPerm hammers the relabel-section decoder: arbitrary
+// bytes must yield a clean error or a permutation of the right length that
+// can be offered to graph.RelabelFromPerm without panicking — a rejection
+// there is exactly the recovery path's recompute fall-back, so it is
+// acceptable; a panic never is.
+func FuzzDecodeSnapshotPerm(f *testing.F) {
+	for _, seed := range fuzzPermSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		perm, err := DecodeSnapshotPerm(data)
+		if err != nil || perm == nil {
+			return
+		}
+		g, _, err := DecodeSnapshot(data)
+		if err != nil {
+			return // graph part is judged independently; perm alone may pass
+		}
+		if int32(len(perm)) != g.NumVertices() {
+			t.Fatalf("accepted perm has %d entries for an n=%d graph", len(perm), g.NumVertices())
+		}
+		_, _ = graph.RelabelFromPerm(g, perm)
+	})
 }
 
 // fuzzStateSeeds are the FuzzDecodeMaintainerState starting points: valid
@@ -75,6 +125,7 @@ func TestSeedCorpora(t *testing.T) {
 	for target, seeds := range map[string][][]byte{
 		"FuzzDecodeSnapshot":        fuzzSnapshotSeeds(),
 		"FuzzDecodeMaintainerState": fuzzStateSeeds(),
+		"FuzzDecodeSnapshotPerm":    fuzzPermSeeds(),
 		"FuzzDecodeWAL":             fuzzWALSeeds(),
 	} {
 		dir := filepath.Join("testdata", "fuzz", target)
@@ -124,8 +175,10 @@ func FuzzDecodeSnapshot(f *testing.F) {
 				t.Fatalf("accepted snapshot is not canonical: %d in, %d re-encoded", len(data), len(re))
 			}
 		case SnapshotVersionState:
-			if st, err := DecodeSnapshotState(data); err == nil {
-				if re := EncodeSnapshotWithState(g, meta, st); !bytes.Equal(re, data) {
+			st, stErr := DecodeSnapshotState(data)
+			perm, permErr := DecodeSnapshotPerm(data)
+			if stErr == nil && permErr == nil && (st != nil || perm != nil) {
+				if re := EncodeSnapshotSections(g, meta, st, perm); !bytes.Equal(re, data) {
 					t.Fatalf("accepted v2 snapshot is not canonical: %d in, %d re-encoded", len(data), len(re))
 				}
 			}
@@ -154,8 +207,11 @@ func FuzzDecodeMaintainerState(f *testing.F) {
 		if err != nil {
 			return // graph part is judged independently; state alone may pass
 		}
-		if re := EncodeSnapshotWithState(g, meta, st); !bytes.Equal(re, data) {
-			t.Fatalf("accepted state section is not canonical: %d in, %d re-encoded", len(data), len(re))
+		perm, permErr := DecodeSnapshotPerm(data)
+		if permErr == nil {
+			if re := EncodeSnapshotSections(g, meta, st, perm); !bytes.Equal(re, data) {
+				t.Fatalf("accepted state section is not canonical: %d in, %d re-encoded", len(data), len(re))
+			}
 		}
 		if st.Local != nil {
 			_, _ = dynamic.NewMaintainerFromState(g, st.Local)

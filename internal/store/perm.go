@@ -1,0 +1,163 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/graph"
+)
+
+// Relabel-permutation section of a version-2 snapshot. When the serving
+// layer runs with degree-ordered relabeling it persists the permutation
+// alongside the graph, so recovery reuses it instead of re-deriving one —
+// the recovered internal layout (and thus every cached artifact keyed on
+// it) round-trips. The section mirrors the maintainer-state frame and
+// follows it (or the graph part directly, when no state was checkpointed),
+// zero-padded to the next 8-byte boundary:
+//
+//	[S+0]  magic      [4]byte "EBRL"
+//	[S+4]  version    uint16 (PermVersion)
+//	[S+6]  reserved   uint16 (must be 0)
+//	[S+8]  n          uint32 (must equal the graph part's n)
+//	[S+12] reserved   uint32 (must be 0)
+//	[S+16] payloadLen uint64 = 4n, then n × int32 perm (perm[external] = internal)
+//	[..]   crc        uint32 (IEEE, over the section from S through payload)
+//
+// Like the state section, its CRC covers only itself: a corrupt permutation
+// never blocks loading the graph or the maintainer state — recovery falls
+// back to recomputing the relabeling, which is always a valid substitute
+// (any bijection serves correctly; degree order is a layout heuristic).
+const (
+	// PermVersion is the relabel-permutation section format version.
+	PermVersion = 1
+)
+
+var permMagic = [4]byte{'E', 'B', 'R', 'L'}
+
+// EncodeSnapshotSections serializes g, its metadata, and any of the optional
+// trailing sections: maintainer state and the relabel permutation. With
+// neither present it degrades to the bit-identical version-1 format.
+func EncodeSnapshotSections(g *graph.Graph, meta SnapshotMeta, st *MaintainerState, perm []int32) []byte {
+	if st.empty() && len(perm) == 0 {
+		return EncodeSnapshot(g, meta)
+	}
+	n := int(g.NumVertices())
+	extra := 0
+	if !st.empty() {
+		extra += 7 + stateSectionLen(n, st)
+	}
+	if len(perm) > 0 {
+		extra += 7 + stateHeaderLen + 4*len(perm) + 4
+	}
+	buf := encodeGraphPart(g, meta, SnapshotVersionState, extra)
+	if !st.empty() {
+		for len(buf)%8 != 0 {
+			buf = append(buf, 0)
+		}
+		buf = appendStateSection(buf, uint32(n), st)
+	}
+	if len(perm) > 0 {
+		for len(buf)%8 != 0 {
+			buf = append(buf, 0)
+		}
+		buf = appendPermSection(buf, uint32(n), perm)
+	}
+	return buf
+}
+
+// appendPermSection appends the framed relabel-permutation section to buf
+// (whose length must already be 8-aligned, making the int32 payload
+// mappable).
+func appendPermSection(buf []byte, n uint32, perm []int32) []byte {
+	start := len(buf)
+	buf = append(buf, permMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, PermVersion)
+	buf = append(buf, 0, 0)
+	buf = binary.LittleEndian.AppendUint32(buf, n)
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(4*len(perm)))
+	buf = appendWords(buf, perm)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
+}
+
+// DecodeSnapshotPerm extracts the relabel permutation of a snapshot image,
+// or (nil, nil) when the snapshot carries none (every version-1 file, and
+// version-2 files checkpointed without relabeling). An error means the
+// section is present but unusable — truncated, checksum mismatch, version
+// skew — and the caller should recompute the relabeling instead. The
+// returned slice aliases data zero-copy on little-endian hosts; the caller
+// must not modify data afterwards.
+func DecodeSnapshotPerm(data []byte) ([]int32, error) {
+	version, n, graphLen, err := snapshotLayout(data)
+	if err != nil {
+		return nil, err
+	}
+	if version == SnapshotVersion {
+		return nil, nil
+	}
+	pos, err := skipSectionPadding(data, graphLen)
+	if err != nil || pos == uint64(len(data)) {
+		return nil, err
+	}
+	if uint64(len(data))-pos < stateHeaderLen+4 {
+		return nil, fmt.Errorf("store: relabel section truncated (%d bytes after graph part)", uint64(len(data))-pos)
+	}
+	if [4]byte(data[pos:pos+4]) == stateMagic {
+		// Skip the maintainer-state section by its frame; its content is
+		// DecodeSnapshotState's concern.
+		payloadLen := binary.LittleEndian.Uint64(data[pos+16 : pos+24])
+		if payloadLen > uint64(len(data))-pos-stateHeaderLen-4 {
+			return nil, fmt.Errorf("store: maintainer-state section overruns the snapshot")
+		}
+		pos += stateHeaderLen + payloadLen + 4
+		pos, err = skipSectionPadding(data, pos)
+		if err != nil || pos == uint64(len(data)) {
+			return nil, err
+		}
+	}
+	sec := data[pos:]
+	if uint64(len(sec)) < stateHeaderLen+4 {
+		return nil, fmt.Errorf("store: relabel section truncated (%d trailing bytes)", len(sec))
+	}
+	if [4]byte(sec[0:4]) != permMagic {
+		return nil, fmt.Errorf("store: bad relabel-section magic %q", sec[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(sec[4:6]); v != PermVersion {
+		return nil, fmt.Errorf("store: unsupported relabel-section version %d (this build reads %d)", v, PermVersion)
+	}
+	if binary.LittleEndian.Uint16(sec[6:8]) != 0 || binary.LittleEndian.Uint32(sec[12:16]) != 0 {
+		return nil, fmt.Errorf("store: corrupt relabel-section header (reserved fields)")
+	}
+	if secN := binary.LittleEndian.Uint32(sec[8:12]); uint64(secN) != n {
+		return nil, fmt.Errorf("store: relabel section covers n=%d, snapshot graph has n=%d", secN, n)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("store: relabel section present for an empty graph")
+	}
+	payloadLen := binary.LittleEndian.Uint64(sec[16:24])
+	if payloadLen != 4*n {
+		return nil, fmt.Errorf("store: relabel payload is %d bytes, n=%d implies %d", payloadLen, n, 4*n)
+	}
+	if uint64(len(sec)) != stateHeaderLen+payloadLen+4 {
+		return nil, fmt.Errorf("store: relabel section is followed by %d unexpected bytes",
+			uint64(len(sec))-stateHeaderLen-payloadLen-4)
+	}
+	body, crcBytes := sec[:stateHeaderLen+payloadLen], sec[stateHeaderLen+payloadLen:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(crcBytes); got != want {
+		return nil, fmt.Errorf("store: relabel-section checksum mismatch (file %#x, computed %#x)", want, got)
+	}
+	return aliasWords[int32](body[stateHeaderLen:], n), nil
+}
+
+// skipSectionPadding advances pos over the zero padding to the next 8-byte
+// boundary (or to end of input), erroring on a nonzero pad byte.
+func skipSectionPadding(data []byte, pos uint64) (uint64, error) {
+	for pos%8 != 0 && pos < uint64(len(data)) {
+		if data[pos] != 0 {
+			return 0, fmt.Errorf("store: nonzero padding between snapshot sections")
+		}
+		pos++
+	}
+	return pos, nil
+}

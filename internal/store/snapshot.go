@@ -180,10 +180,10 @@ func DecodeSnapshot(data []byte) (*graph.Graph, SnapshotMeta, error) {
 // maintainer-state section of the temp file (tearing the section exactly
 // where a real crash could), CrashAfterSnapshotTmp once the temp file is
 // durable, just before the rename; a non-nil return aborts there.
-func writeSnapshotFile(path string, g *graph.Graph, meta SnapshotMeta, st *MaintainerState, hook func(point string) error) error {
-	img := EncodeSnapshotWithState(g, meta, st)
+func writeSnapshotFile(path string, g *graph.Graph, meta SnapshotMeta, st *MaintainerState, perm []int32, hook func(point string) error) error {
+	img := EncodeSnapshotSections(g, meta, st, perm)
 	split := len(img)
-	if !st.empty() {
+	if !st.empty() || len(perm) > 0 {
 		// The graph part's length is fully determined by g.
 		offsets, adj := g.CSR()
 		split = snapFixedHeaderLen + len(offsets)*8 + 8 + len(adj)*4 + snapTrailerLen
@@ -228,20 +228,22 @@ func writeSnapshotFile(path string, g *graph.Graph, meta SnapshotMeta, st *Maint
 }
 
 // readSnapshotFile loads and decodes the snapshot at path: the graph always,
-// the maintainer-state section on a best-effort basis — state is nil either
-// when the snapshot is version 1 (stateErr nil: nothing was expected) or
-// when the section is unusable (stateErr says why; the graph still serves).
-func readSnapshotFile(path string) (g *graph.Graph, meta SnapshotMeta, state *MaintainerState, stateErr error, err error) {
+// the maintainer-state and relabel-permutation sections on a best-effort
+// basis — each is nil either when the snapshot does not carry it (its error
+// is then nil: nothing was expected) or when the section is unusable (the
+// error says why; the graph still serves).
+func readSnapshotFile(path string) (g *graph.Graph, meta SnapshotMeta, state *MaintainerState, stateErr error, perm []int32, permErr error, err error) {
 	data, err := readFileShared(path)
 	if err != nil {
-		return nil, SnapshotMeta{}, nil, nil, err
+		return nil, SnapshotMeta{}, nil, nil, nil, nil, err
 	}
 	g, meta, err = DecodeSnapshot(data)
 	if err != nil {
-		return nil, SnapshotMeta{}, nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, SnapshotMeta{}, nil, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	state, stateErr = DecodeSnapshotState(data)
-	return g, meta, state, stateErr, nil
+	perm, permErr = DecodeSnapshotPerm(data)
+	return g, meta, state, stateErr, perm, permErr, nil
 }
 
 // syncDir fsyncs a directory so a just-renamed or just-created entry is

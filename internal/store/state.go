@@ -75,15 +75,7 @@ func (st *MaintainerState) empty() bool {
 // version-1 format — EncodeSnapshot — so stores that never checkpointed
 // maintainer state keep producing bit-identical v1 files.
 func EncodeSnapshotWithState(g *graph.Graph, meta SnapshotMeta, st *MaintainerState) []byte {
-	if st.empty() {
-		return EncodeSnapshot(g, meta)
-	}
-	n := int(g.NumVertices())
-	buf := encodeGraphPart(g, meta, SnapshotVersionState, 7+stateSectionLen(n, st))
-	for len(buf)%8 != 0 {
-		buf = append(buf, 0)
-	}
-	return appendStateSection(buf, uint32(n), st)
+	return EncodeSnapshotSections(g, meta, st, nil)
 }
 
 // appendStateSection appends the framed state section to buf (whose length
@@ -192,6 +184,11 @@ func DecodeSnapshotState(data []byte) (*MaintainerState, error) {
 	}
 	sec := data[start:]
 	if [4]byte(sec[0:4]) != stateMagic {
+		if [4]byte(sec[0:4]) == permMagic {
+			// A version-2 snapshot carrying only the relabel permutation:
+			// no state was checkpointed and none is expected.
+			return nil, nil
+		}
 		return nil, fmt.Errorf("store: bad maintainer-state magic %q", sec[0:4])
 	}
 	if v := binary.LittleEndian.Uint16(sec[4:6]); v != StateVersion {
@@ -204,11 +201,14 @@ func DecodeSnapshotState(data []byte) (*MaintainerState, error) {
 	if secN := binary.LittleEndian.Uint32(sec[8:12]); uint64(secN) != n {
 		return nil, fmt.Errorf("store: maintainer state covers n=%d, snapshot graph has n=%d", secN, n)
 	}
+	// The section frames its own length; bytes beyond it belong to later
+	// sections (the relabel permutation) and are not examined here.
 	payloadLen := binary.LittleEndian.Uint64(sec[16:24])
-	if payloadLen != uint64(len(sec))-stateHeaderLen-4 {
-		return nil, fmt.Errorf("store: maintainer-state payload is %d bytes, section frames %d",
-			uint64(len(sec))-stateHeaderLen-4, payloadLen)
+	if payloadLen > uint64(len(sec))-stateHeaderLen-4 {
+		return nil, fmt.Errorf("store: maintainer-state payload frames %d bytes, %d remain",
+			payloadLen, uint64(len(sec))-stateHeaderLen-4)
 	}
+	sec = sec[:stateHeaderLen+payloadLen+4]
 	body, crcBytes := sec[:stateHeaderLen+payloadLen], sec[stateHeaderLen+payloadLen:]
 	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(crcBytes); got != want {
 		return nil, fmt.Errorf("store: maintainer-state checksum mismatch (file %#x, computed %#x)", want, got)

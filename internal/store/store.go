@@ -117,7 +117,7 @@ func Create(dir string, g *graph.Graph, meta SnapshotMeta, opts ...Option) (*Sto
 	if err := s.acquireLock(); err != nil {
 		return nil, err
 	}
-	if err := writeSnapshotFile(filepath.Join(dir, snapshotFile), g, meta, nil, s.crash); err != nil {
+	if err := writeSnapshotFile(filepath.Join(dir, snapshotFile), g, meta, nil, nil, s.crash); err != nil {
 		s.releaseLock()
 		os.RemoveAll(dir)
 		return nil, err
@@ -153,6 +153,14 @@ type Recovered struct {
 	// Open: the graph part is independently checksummed and still serves.
 	State    *MaintainerState
 	StateErr error
+	// Perm is the snapshot's relabel permutation (perm[external] = internal)
+	// when one was checkpointed (CheckpointSections) and decoded cleanly;
+	// nil means the serving layer derives a fresh relabeling if it needs
+	// one. PermErr mirrors StateErr's distinction between "never written"
+	// (nil) and "present but unusable" (the decode error); neither fails
+	// Open.
+	Perm    []int32
+	PermErr error
 }
 
 // Open recovers the store in dir: load the snapshot, decode the WAL, repair
@@ -168,11 +176,11 @@ func Open(dir string, opts ...Option) (st *Store, rec *Recovered, err error) {
 			s.releaseLock()
 		}
 	}()
-	g, meta, state, stateErr, err := readSnapshotFile(filepath.Join(dir, snapshotFile))
+	g, meta, state, stateErr, perm, permErr, err := readSnapshotFile(filepath.Join(dir, snapshotFile))
 	if err != nil {
 		return nil, nil, err
 	}
-	rec = &Recovered{Meta: meta, Graph: g, State: state, StateErr: stateErr}
+	rec = &Recovered{Meta: meta, Graph: g, State: state, StateErr: stateErr, Perm: perm, PermErr: permErr}
 	s.snapSeq = meta.Seq
 	s.seq = meta.Seq
 
@@ -326,13 +334,22 @@ func (s *Store) Checkpoint(g *graph.Graph, meta SnapshotMeta) error {
 // and the next recovery can import the state instead of rebuilding it (nil
 // state keeps the version-1 format). The atomicity contract is Checkpoint's.
 func (s *Store) CheckpointWithState(g *graph.Graph, meta SnapshotMeta, st *MaintainerState) error {
+	return s.CheckpointSections(g, meta, st, nil)
+}
+
+// CheckpointSections is CheckpointWithState additionally carrying the
+// serving layer's relabel permutation (perm[external] = internal, empty for
+// none), persisted as its own checksummed section so the next recovery
+// reuses the internal layout instead of re-deriving it. The atomicity
+// contract is Checkpoint's.
+func (s *Store) CheckpointSections(g *graph.Graph, meta SnapshotMeta, st *MaintainerState, perm []int32) error {
 	if s.failed != nil {
 		return fmt.Errorf("store: poisoned by earlier failure: %w", s.failed)
 	}
 	if err := s.crash(CrashBeforeCheckpoint); err != nil {
 		return s.fail(err)
 	}
-	if err := writeSnapshotFile(filepath.Join(s.dir, snapshotFile), g, meta, st, s.crash); err != nil {
+	if err := writeSnapshotFile(filepath.Join(s.dir, snapshotFile), g, meta, st, perm, s.crash); err != nil {
 		return s.fail(err)
 	}
 	s.snapSeq = meta.Seq

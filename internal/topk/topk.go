@@ -14,14 +14,31 @@ type Item struct {
 type Bounded struct {
 	k     int
 	items []Item
+	ext   []int32 // optional external labels for score-tie ordering
 }
 
 // NewBounded returns an empty result set with capacity k (k ≥ 1).
 func NewBounded(k int) *Bounded {
+	return NewBoundedLabeled(k, nil)
+}
+
+// NewBoundedLabeled is NewBounded with score ties ordered by the external
+// label ext[v] instead of the vertex id, making every tie decision — and
+// therefore the selected set itself — invariant under internal relabeling.
+// A nil ext means identity labels.
+func NewBoundedLabeled(k int, ext []int32) *Bounded {
 	if k < 1 {
 		k = 1
 	}
-	return &Bounded{k: k, items: make([]Item, 0, k)}
+	return &Bounded{k: k, items: make([]Item, 0, k), ext: ext}
+}
+
+// label returns the tie-break key of v.
+func (b *Bounded) label(v int32) int32 {
+	if b.ext == nil {
+		return v
+	}
+	return b.ext[v]
 }
 
 // Full reports whether k items are held.
@@ -78,7 +95,8 @@ func (b *Bounded) Remove(v int32) bool {
 }
 
 // Results returns the held items sorted by descending score, ties by
-// ascending vertex id for deterministic output.
+// ascending vertex id (external label when labeled) for deterministic
+// output.
 func (b *Bounded) Results() []Item {
 	out := make([]Item, len(b.items))
 	copy(out, b.items)
@@ -86,7 +104,7 @@ func (b *Bounded) Results() []Item {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}
-		return out[i].V < out[j].V
+		return b.label(out[i].V) < b.label(out[j].V)
 	})
 	return out
 }
@@ -98,7 +116,7 @@ func (b *Bounded) less(i, j int) bool {
 	if b.items[i].Score != b.items[j].Score {
 		return b.items[i].Score < b.items[j].Score
 	}
-	return b.items[i].V < b.items[j].V
+	return b.label(b.items[i].V) < b.label(b.items[j].V)
 }
 
 func (b *Bounded) siftUp(i int) {
@@ -136,11 +154,28 @@ func (b *Bounded) siftDown(i int) {
 // mirroring the degree-order tie direction of the paper's total order ≺.
 type MaxHeap struct {
 	items []Item
+	ext   []int32 // optional external labels for score-tie ordering
 }
 
 // NewMaxHeap returns an empty heap with capacity hint c.
 func NewMaxHeap(c int) *MaxHeap {
-	return &MaxHeap{items: make([]Item, 0, c)}
+	return NewMaxHeapLabeled(c, nil)
+}
+
+// NewMaxHeapLabeled is NewMaxHeap with score ties popped by descending
+// external label ext[v], so the pop sequence — the entire candidate visit
+// order of OptBSearch — is invariant under internal relabeling. A nil ext
+// means identity labels.
+func NewMaxHeapLabeled(c int, ext []int32) *MaxHeap {
+	return &MaxHeap{items: make([]Item, 0, c), ext: ext}
+}
+
+// label returns the tie-break key of v.
+func (h *MaxHeap) label(v int32) int32 {
+	if h.ext == nil {
+		return v
+	}
+	return h.ext[v]
 }
 
 // Len returns the number of items.
@@ -192,5 +227,5 @@ func (h *MaxHeap) greater(i, j int) bool {
 	if h.items[i].Score != h.items[j].Score {
 		return h.items[i].Score > h.items[j].Score
 	}
-	return h.items[i].V > h.items[j].V
+	return h.label(h.items[i].V) > h.label(h.items[j].V)
 }
