@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-pr5 bench-pr6 bench-pr7 bench-figs bench-smoke fuzz-smoke cover serve fmt lint vet clean
+.PHONY: build test bench bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-figs bench-smoke fuzz-smoke cover serve fmt lint vet clean
 
 build:
 	$(GO) build ./...
@@ -16,10 +16,12 @@ test: vet
 # snapshot-publication rows: full-freeze vs copy-on-write overlay at
 # 1/16/256-edge batches, plus the background compaction cost, and the
 # PR 6 instant-recovery rows: state-carrying checkpoints and fast vs
-# rebuild restart, and the PR 7 read-path kernel rows: overlay read tax,
-# degree-relabeled search, hub×hub scalar vs word-parallel intersection),
-# written to BENCH_PR7.json so the perf trajectory is tracked across PRs.
-bench: bench-pr7
+# rebuild restart, the PR 7 read-path kernel rows: overlay read tax,
+# degree-relabeled search, hub×hub scalar vs word-parallel intersection,
+# and the PR 8 replication rows: follower bootstrap, read latency under
+# open-loop load, and steady-state replica lag), written to BENCH_PR8.json
+# so the perf trajectory is tracked across PRs.
+bench: bench-pr8
 
 bench-pr5: build
 	$(GO) run ./cmd/benchtab -prbench BENCH_PR5.json
@@ -29,6 +31,9 @@ bench-pr6: build
 
 bench-pr7: build
 	$(GO) run ./cmd/benchtab -prbench BENCH_PR7.json
+
+bench-pr8: build
+	$(GO) run ./cmd/benchtab -prbench BENCH_PR8.json
 
 # Regenerate the paper's tables and figures (quick grids; -full for the
 # paper's grids). See EXPERIMENTS.md.

@@ -22,6 +22,11 @@
 //	egobwd -relabel                   # degree-ordered internal relabeling:
 //	                                  # recompute queries run on a hub-first
 //	                                  # CSR, same external ids and results
+//	egobwd -follow http://leader:8080 # read-only follower: bootstrap every
+//	                                  # graph from the leader's checkpoints,
+//	                                  # tail its WAL stream, serve reads at
+//	                                  # bounded staleness; writes answer 403
+//	                                  # with the leader's address
 //
 // Walkthrough (see README.md for the full API):
 //
@@ -48,6 +53,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/server"
+	"repro/internal/ship"
 )
 
 // config collects the daemon's flags.
@@ -65,6 +71,8 @@ type config struct {
 	compactDepth int
 	compactDirty float64
 	relabel      bool
+	follow       string
+	followEvery  time.Duration
 }
 
 func main() {
@@ -82,6 +90,8 @@ func main() {
 	flag.IntVar(&cfg.compactDepth, "compact-depth", 0, "compact a graph's overlay chain into a fresh base CSR once it is this many layers deep (0 = default 8; 1 compacts after every drain)")
 	flag.Float64Var(&cfg.compactDirty, "compact-dirty", 0, "also compact once the chain's dirty vertices reach this fraction of n (0 = default 0.25)")
 	flag.BoolVar(&cfg.relabel, "relabel", false, "serve recompute top-k queries (algo=opt/base) on a degree-ordered relabeled CSR; external ids and results are unchanged")
+	flag.StringVar(&cfg.follow, "follow", "", "run as a read-only follower of the leader at this base URL (e.g. http://leader:8080): graphs ship over from its checkpoints and WAL stream; local writes are rejected")
+	flag.DurationVar(&cfg.followEvery, "follow-interval", 200*time.Millisecond, "how often a follower polls the leader's WAL stream (bounds read staleness)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -94,6 +104,9 @@ func main() {
 // the data directory, dataset preloads. Split from run so tests can exercise
 // the boot path without serving.
 func setup(cfg config) (*server.Server, error) {
+	if cfg.follow != "" && cfg.preload != "" {
+		return nil, fmt.Errorf("-preload is a write and a follower is read-only: drop -preload or preload on the leader at %s", cfg.follow)
+	}
 	regOpts := []server.RegistryOption{
 		server.WithBuildWorkers(cfg.buildWorkers),
 		server.WithWriteQueue(cfg.writeQueue),
@@ -106,12 +119,24 @@ func setup(cfg config) (*server.Server, error) {
 			server.WithDataDir(cfg.dataDir),
 			server.WithCheckpointPolicy(cfg.ckptEvery, cfg.ckptBytes))
 	}
+	if cfg.follow != "" {
+		regOpts = append(regOpts, server.WithLeader(cfg.follow))
+	}
 	srv := server.New(server.WithRegistryOptions(regOpts...))
 
 	if cfg.dataDir != "" {
 		infos, err := srv.Registry().Recover()
 		if err != nil {
-			return nil, fmt.Errorf("recover %s: %w", cfg.dataDir, err)
+			// A per-graph failure poisons only that graph: log it, serve the
+			// rest. Anything else (unreadable directory, foreign files) is
+			// still fatal — the data dir itself is suspect.
+			var recErr *server.RecoverError
+			if !errors.As(err, &recErr) {
+				return nil, fmt.Errorf("recover %s: %w", cfg.dataDir, err)
+			}
+			for _, f := range recErr.Failures {
+				log.Printf("egobwd: recover %q failed, skipping: %v", f.Graph, f.Err)
+			}
 		}
 		for _, info := range infos {
 			line := fmt.Sprintf("egobwd: recovered %q mode=%s n=%d m=%d wal_seq=%d snapshot_seq=%d recover_path=%s",
@@ -157,14 +182,30 @@ func run(cfg config) error {
 	// drops the locks with the process.
 	defer srv.Registry().Close()
 
+	handler := srv.Handler()
+	if cfg.dataDir != "" {
+		// Durable nodes ship: expose checkpoints and the WAL stream so
+		// followers (of this node, or of a follower of it) can sync.
+		mux := http.NewServeMux()
+		mux.Handle("/ship/", ship.NewHandler(srv.Registry()))
+		mux.Handle("/", srv.Handler())
+		handler = mux
+	}
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if cfg.follow != "" {
+		fol := ship.NewFollower(ship.NewClient(cfg.follow, nil), srv.Registry(),
+			ship.WithInterval(cfg.followEvery), ship.WithLogf(log.Printf))
+		go fol.Run(ctx)
+		log.Printf("egobwd: following %s every %s", cfg.follow, cfg.followEvery)
+	}
 
 	errc := make(chan error, 1)
 	go func() {

@@ -1,0 +1,100 @@
+// Command egobwload drives an egobwd deployment with open-loop load and
+// reports latency percentiles. Arrivals are scheduled at a fixed offered
+// rate independent of server responsiveness, so server-side queueing shows
+// up in the percentiles rather than being absorbed by the client (no
+// coordinated omission).
+//
+// Usage:
+//
+//	egobwload -read http://localhost:8080 -graph demo -rate 500 -duration 10s
+//	egobwload -read http://follower:8081 -write http://leader:8080 \
+//	    -graph demo -rate 1000 -write-frac 0.1 -batch 16 -duration 30s
+//	egobwload ... -json          # machine-readable summary on stdout
+//
+// With -write pointing at a leader and -read at a follower the summary also
+// reports the replication lag observed on the read target during the run.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/load"
+)
+
+func main() {
+	var (
+		cfg     load.Config
+		asJSON  bool
+		timeout time.Duration
+	)
+	flag.StringVar(&cfg.ReadURL, "read", "http://localhost:8080", "base URL top-k reads are sent to")
+	flag.StringVar(&cfg.WriteURL, "write", "", "base URL edge writes are sent to (default: same as -read)")
+	flag.StringVar(&cfg.Graph, "graph", "", "graph name (required)")
+	flag.Float64Var(&cfg.Rate, "rate", 100, "offered arrivals per second, reads and writes combined")
+	flag.Float64Var(&cfg.WriteFrac, "write-frac", 0, "fraction of arrivals that are edge writes, in [0,1]")
+	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "how long to offer load")
+	flag.IntVar(&cfg.K, "k", 0, "top-k size for reads (0 = server default)")
+	flag.StringVar(&cfg.Algo, "algo", "", "topk algo parameter (0 = server default)")
+	flag.IntVar(&cfg.Batch, "batch", 8, "edges per write request")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "rng seed for arrival classification and generated edges")
+	flag.IntVar(&cfg.MaxOutstanding, "max-outstanding", 0, "in-flight request cap; arrivals past it are dropped, not queued (0 = 1024)")
+	flag.DurationVar(&timeout, "timeout", 30*time.Second, "per-request timeout")
+	flag.BoolVar(&asJSON, "json", false, "emit the summary as JSON instead of text")
+	flag.Parse()
+
+	if err := run(cfg, timeout, asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "egobwload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg load.Config, timeout time.Duration, asJSON bool) error {
+	if cfg.Graph == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	cfg.Client = newClient(timeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := load.Run(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Printf("duration   %v  offered %.0f rps  achieved %.0f rps  dropped %d\n",
+		res.Duration.Round(time.Millisecond), res.Offered, res.Achieved, res.Dropped)
+	printClass("reads", res.Reads)
+	printClass("writes", res.Writes)
+	if res.LagSeqMax > 0 || res.LagMSMax > 0 {
+		fmt.Printf("replica lag  max %d batches / %.1f ms  last %d batches\n",
+			res.LagSeqMax, res.LagMSMax, res.LagSeqLast)
+	}
+	return nil
+}
+
+func newClient(timeout time.Duration) *http.Client {
+	return &http.Client{Timeout: timeout}
+}
+
+func printClass(name string, m load.Metrics) {
+	if m.Count == 0 && m.Errors == 0 && m.Throttled == 0 {
+		return
+	}
+	fmt.Printf("%-7s %7d ok  %d err  %d throttled  p50 %v  p90 %v  p99 %v  max %v\n",
+		name, m.Count, m.Errors, m.Throttled,
+		m.P50.Round(time.Microsecond), m.P90.Round(time.Microsecond),
+		m.P99.Round(time.Microsecond), m.Max.Round(time.Microsecond))
+}

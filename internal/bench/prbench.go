@@ -112,6 +112,22 @@ type PRBenchEntry struct {
 	HubIntersectScalarNs int64   `json:"hub_intersect_scalar_ns_op"`
 	HubIntersectWordNs   int64   `json:"hub_intersect_word_ns_op"`
 	HubWordSpeedup       float64 `json:"hub_word_speedup"`
+
+	// Replication (PR 8, snapshot/WAL-shipping read replicas): the whole
+	// stack end to end — leader API + shipping endpoint over HTTP, follower
+	// bootstrapping from the leader's checkpoint and tailing its WAL, the
+	// open-loop harness offering mixed read/write load with reads on the
+	// follower and writes on the leader. Bootstrap is checkpoint fetch +
+	// install + catch-up to the leader's durable seq; the read percentiles
+	// are HTTP round-trips against the follower under load; the lag rows are
+	// what the follower reported at the end of the run (batches behind at
+	// the last poll, milliseconds since it was last caught up).
+	ShipBootstrapMS     float64 `json:"ship_bootstrap_ms"`
+	FollowerReadP50Ns   int64   `json:"follower_read_p50_ns"`
+	FollowerReadP99Ns   int64   `json:"follower_read_p99_ns"`
+	FollowerReadRPS     float64 `json:"follower_read_rps"`
+	ReplicaLagSeqSteady uint64  `json:"replica_lag_seq_steady"`
+	ReplicaLagMSSteady  float64 `json:"replica_lag_ms_steady"`
 }
 
 // PRBench is the bench-regression document (currently BENCH_PR5.json).
@@ -192,6 +208,7 @@ func RunPRBench(names []string) PRBench {
 		measureWrites(&e, g)
 		measurePublish(&e, g)
 		measureReadPath(&e, g)
+		measureShip(&e, g)
 
 		doc.Datasets = append(doc.Datasets, e)
 	}

@@ -1,0 +1,122 @@
+package bench
+
+// The PR 8 replication measurement: a leader and a follower wired through
+// real HTTP — the leader serving both the client API and the shipping
+// endpoint, the follower bootstrapping from the leader's checkpoint and
+// tailing its WAL while the open-loop harness (internal/load) offers mixed
+// load with reads on the follower and writes on the leader. This is the
+// deployment shape DESIGN.md §13 describes, measured end to end rather
+// than per kernel.
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/server"
+	"repro/internal/ship"
+)
+
+// shipSeedBatches is how many single-edge update batches land in the
+// leader's WAL before the follower bootstraps, so the bootstrap row pays
+// for a checkpoint install plus a realistic tail replay.
+const shipSeedBatches = 64
+
+// measureShip runs the replication benchmark for dataset graph g.
+func measureShip(e *PRBenchEntry, g *graph.Graph) {
+	leadDir, err := os.MkdirTemp("", "egobw-prbench-ship-lead-*")
+	must(err)
+	defer os.RemoveAll(leadDir)
+	folDir, err := os.MkdirTemp("", "egobw-prbench-ship-fol-*")
+	must(err)
+	defer os.RemoveAll(folDir)
+
+	// Leader: API + shipping endpoint on one httptest server, the mux shape
+	// egobwd serves.
+	leader := server.New(server.WithRegistryOptions(
+		server.WithDataDir(leadDir), server.WithBuildWorkers(4)))
+	defer leader.Registry().Close()
+	leadMux := http.NewServeMux()
+	leadMux.Handle("/ship/", ship.NewHandler(leader.Registry()))
+	leadMux.Handle("/", leader.Handler())
+	leadTS := httptest.NewServer(leadMux)
+	defer leadTS.Close()
+
+	name := e.Dataset
+	if _, err := leader.Registry().Add(name, g, server.ModeLocal, 10); err != nil {
+		panic(err)
+	}
+	seed := pickEdges(g, shipSeedBatches, 0x541B)
+	for _, ed := range seed {
+		if _, err := leader.Registry().ApplyEdges(name, [][2]int32{ed}, false); err != nil {
+			panic(err)
+		}
+	}
+	for _, ed := range seed {
+		if _, err := leader.Registry().ApplyEdges(name, [][2]int32{ed}, true); err != nil {
+			panic(err)
+		}
+	}
+
+	follower := server.New(server.WithRegistryOptions(
+		server.WithDataDir(folDir), server.WithLeader(leadTS.URL), server.WithBuildWorkers(4)))
+	defer follower.Registry().Close()
+	folTS := httptest.NewServer(follower.Handler())
+	defer folTS.Close()
+
+	client := ship.NewClient(leadTS.URL, nil)
+	fol := ship.NewFollower(client, follower.Registry(), ship.WithInterval(10*time.Millisecond))
+
+	// Bootstrap: checkpoint fetch + install + WAL catch-up to the leader's
+	// durable sequence, driven to completion.
+	ctx := context.Background()
+	leadStatus, err := leader.Registry().ShipStatus(name)
+	must(err)
+	e.ShipBootstrapMS = float64(timeIt(func() {
+		for {
+			must(fol.SyncOnce(ctx))
+			if seq, ok := follower.Registry().ReplicaSeq(name); ok && seq >= leadStatus.Seq {
+				return
+			}
+		}
+	})) / 1e6
+
+	// Steady state: the follower loop tails continuously while the harness
+	// offers open-loop load — reads against the follower, writes against
+	// the leader.
+	runCtx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() { defer close(done); fol.Run(runCtx) }()
+	// Reads use the maintained-scores path (algo=scores) — the read a
+	// replica exists to serve: O(top-k extraction) against state the
+	// follower keeps current, not a full O(m^1.5) recompute per snapshot
+	// (which at this arrival rate would just measure queue collapse).
+	res, err := load.Run(ctx, load.Config{
+		ReadURL:   folTS.URL,
+		WriteURL:  leadTS.URL,
+		Graph:     name,
+		Rate:      1500,
+		WriteFrac: 0.2,
+		Batch:     4,
+		Duration:  1200 * time.Millisecond,
+		K:         100,
+		Algo:      "scores",
+		Seed:      7,
+		Client:    &http.Client{Timeout: 10 * time.Second},
+	})
+	cancel()
+	<-done
+	must(err)
+
+	e.FollowerReadP50Ns = int64(res.Reads.P50)
+	e.FollowerReadP99Ns = int64(res.Reads.P99)
+	if res.Duration > 0 {
+		e.FollowerReadRPS = float64(res.Reads.Count) / res.Duration.Seconds()
+	}
+	e.ReplicaLagSeqSteady = res.LagSeqLast
+	e.ReplicaLagMSSteady = res.LagMSMax
+}

@@ -1,0 +1,335 @@
+// Package load is an open-loop load generator for the egobwd HTTP API:
+// requests arrive on a fixed schedule derived from the offered rate,
+// regardless of how fast the server answers, so queueing delay shows up in
+// the measured latencies instead of silently throttling the client (the
+// coordinated-omission trap closed-loop harnesses fall into). Reads and
+// writes can target different base URLs — the shape a replica deployment
+// needs, where writes go to the leader and reads to a follower — and the
+// engine samples the read target's replication lag while it runs.
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	ReadURL   string        // base URL top-k reads are sent to
+	WriteURL  string        // base URL edge writes are sent to; "" = ReadURL
+	Graph     string        // graph name on both targets
+	Rate      float64       // offered arrivals per second (reads + writes)
+	WriteFrac float64       // fraction of arrivals that are writes, in [0,1]
+	Duration  time.Duration // how long to offer load
+	K         int           // top-k size for reads (0 = server default)
+	Algo      string        // topk algo parameter ("" = server default)
+	Batch     int           // edges per write request (0 = 8)
+	Seed      int64         // rng seed for arrival classification and edges
+	Client    *http.Client  // nil = a client with a 30s timeout
+
+	// MaxOutstanding bounds in-flight requests (0 = 1024). An open-loop
+	// arrival that finds the window full is dropped and counted rather than
+	// queued — blocking the scheduler would turn the harness closed-loop.
+	MaxOutstanding int
+}
+
+// Metrics summarizes one request class.
+type Metrics struct {
+	Count     int           `json:"count"`     // completed requests
+	Errors    int           `json:"errors"`    // transport errors + non-2xx (except 429)
+	Throttled int           `json:"throttled"` // 429 backpressure responses
+	P50       time.Duration `json:"p50_ns"`
+	P90       time.Duration `json:"p90_ns"`
+	P99       time.Duration `json:"p99_ns"`
+	Max       time.Duration `json:"max_ns"`
+}
+
+// Result is the run summary.
+type Result struct {
+	Duration time.Duration `json:"duration_ns"` // wall clock, start to last completion
+	Offered  float64       `json:"offered_rps"`
+	Achieved float64       `json:"achieved_rps"` // completed (reads+writes) / duration
+	Dropped  int           `json:"dropped"`      // arrivals skipped at the outstanding cap
+	Reads    Metrics       `json:"reads"`
+	Writes   Metrics       `json:"writes"`
+
+	// Replication lag observed on the read target while the run was live;
+	// all zero when the read target is not a replica.
+	LagSeqMax  uint64  `json:"lag_seq_max,omitempty"`
+	LagMSMax   float64 `json:"lag_ms_max,omitempty"`
+	LagSeqLast uint64  `json:"lag_seq_last,omitempty"`
+}
+
+// sink accumulates one request class under a lock; quantiles are computed
+// once at the end from the sorted sample.
+type sink struct {
+	mu        sync.Mutex
+	lats      []time.Duration
+	errors    int
+	throttled int
+}
+
+func (s *sink) ok(d time.Duration) {
+	s.mu.Lock()
+	s.lats = append(s.lats, d)
+	s.mu.Unlock()
+}
+
+func (s *sink) fail(throttled bool) {
+	s.mu.Lock()
+	if throttled {
+		s.throttled++
+	} else {
+		s.errors++
+	}
+	s.mu.Unlock()
+}
+
+func (s *sink) metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{Count: len(s.lats), Errors: s.errors, Throttled: s.throttled}
+	if len(s.lats) == 0 {
+		return m
+	}
+	sort.Slice(s.lats, func(i, j int) bool { return s.lats[i] < s.lats[j] })
+	m.P50 = quantile(s.lats, 0.50)
+	m.P90 = quantile(s.lats, 0.90)
+	m.P99 = quantile(s.lats, 0.99)
+	m.Max = s.lats[len(s.lats)-1]
+	return m
+}
+
+// quantile reads the q-th quantile from an ascending sample (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// graphInfo is the slice of the server's GraphInfo the harness needs.
+type graphInfo struct {
+	N             int32   `json:"n"`
+	ReplicaLagSeq uint64  `json:"replica_lag_seq"`
+	ReplicaLagMS  float64 `json:"replica_lag_ms"`
+}
+
+// Run offers cfg.Rate arrivals per second for cfg.Duration and reports what
+// came back. It returns an error only when the run cannot start (bad config,
+// graph missing on a target); per-request failures are counted in the result.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("load: rate %v must be positive", cfg.Rate)
+	}
+	if cfg.WriteFrac < 0 || cfg.WriteFrac > 1 {
+		return nil, fmt.Errorf("load: write fraction %v outside [0,1]", cfg.WriteFrac)
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("load: duration %v must be positive", cfg.Duration)
+	}
+	if cfg.Graph == "" {
+		return nil, fmt.Errorf("load: graph name required")
+	}
+	if cfg.WriteURL == "" {
+		cfg.WriteURL = cfg.ReadURL
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 8
+	}
+	if cfg.MaxOutstanding <= 0 {
+		cfg.MaxOutstanding = 1024
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	info, err := fetchInfo(ctx, hc, cfg.ReadURL, cfg.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("load: read target: %w", err)
+	}
+	if cfg.WriteFrac > 0 && cfg.WriteURL != cfg.ReadURL {
+		if _, err := fetchInfo(ctx, hc, cfg.WriteURL, cfg.Graph); err != nil {
+			return nil, fmt.Errorf("load: write target: %w", err)
+		}
+	}
+	if info.N < 2 && cfg.WriteFrac > 0 {
+		return nil, fmt.Errorf("load: graph %q has %d vertices; need ≥2 to generate edges", cfg.Graph, info.N)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	readURL := fmt.Sprintf("%s/graphs/%s/topk", cfg.ReadURL, cfg.Graph)
+	if cfg.K > 0 || cfg.Algo != "" {
+		readURL += fmt.Sprintf("?k=%d&algo=%s", cfg.K, cfg.Algo)
+	}
+	writeURL := fmt.Sprintf("%s/graphs/%s/edges", cfg.WriteURL, cfg.Graph)
+
+	res := &Result{Offered: cfg.Rate}
+	var reads, writes sink
+	var wg sync.WaitGroup
+	slots := make(chan struct{}, cfg.MaxOutstanding)
+
+	// Lag sampler: polls the read target's GraphInfo while the run is live.
+	lagDone := make(chan struct{})
+	lagCtx, lagStop := context.WithCancel(ctx)
+	go func() {
+		defer close(lagDone)
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-lagCtx.Done():
+				return
+			case <-tick.C:
+				gi, err := fetchInfo(lagCtx, hc, cfg.ReadURL, cfg.Graph)
+				if err != nil {
+					continue
+				}
+				res.LagSeqLast = gi.ReplicaLagSeq
+				if gi.ReplicaLagSeq > res.LagSeqMax {
+					res.LagSeqMax = gi.ReplicaLagSeq
+				}
+				if gi.ReplicaLagMS > res.LagMSMax {
+					res.LagMSMax = gi.ReplicaLagMS
+				}
+			}
+		}
+	}()
+
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+
+sched:
+	for next := start; next.Before(deadline); next = next.Add(interval) {
+		timer.Reset(time.Until(next))
+		select {
+		case <-ctx.Done():
+			break sched
+		case <-timer.C:
+		}
+		isWrite := cfg.WriteFrac > 0 && rng.Float64() < cfg.WriteFrac
+		var edges [][2]int32
+		if isWrite {
+			edges = make([][2]int32, cfg.Batch)
+			for i := range edges {
+				u := rng.Int31n(info.N)
+				v := rng.Int31n(info.N - 1)
+				if v >= u {
+					v++
+				}
+				edges[i] = [2]int32{u, v}
+			}
+		}
+		select {
+		case slots <- struct{}{}:
+		default:
+			res.Dropped++
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer func() { <-slots; wg.Done() }()
+			if isWrite {
+				doWrite(ctx, hc, writeURL, edges, &writes)
+			} else {
+				doRead(ctx, hc, readURL, &reads)
+			}
+		}()
+	}
+	wg.Wait()
+	lagStop()
+	<-lagDone
+
+	res.Duration = time.Since(start)
+	res.Reads = reads.metrics()
+	res.Writes = writes.metrics()
+	if res.Duration > 0 {
+		res.Achieved = float64(res.Reads.Count+res.Writes.Count) / res.Duration.Seconds()
+	}
+	return res, nil
+}
+
+func fetchInfo(ctx context.Context, hc *http.Client, base, graph string) (*graphInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/graphs/%s", base, graph), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("graph %q: %s: %s", graph, resp.Status, bytes.TrimSpace(body))
+	}
+	var gi graphInfo
+	if err := json.NewDecoder(resp.Body).Decode(&gi); err != nil {
+		return nil, fmt.Errorf("graph %q: decode info: %w", graph, err)
+	}
+	return &gi, nil
+}
+
+func doRead(ctx context.Context, hc *http.Client, url string, s *sink) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		s.fail(false)
+		return
+	}
+	t0 := time.Now()
+	resp, err := hc.Do(req)
+	if err != nil {
+		s.fail(false)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		s.fail(resp.StatusCode == http.StatusTooManyRequests)
+		return
+	}
+	s.ok(time.Since(t0))
+}
+
+func doWrite(ctx context.Context, hc *http.Client, url string, edges [][2]int32, s *sink) {
+	body, err := json.Marshal(map[string][][2]int32{"edges": edges})
+	if err != nil {
+		s.fail(false)
+		return
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		s.fail(false)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := hc.Do(req)
+	if err != nil {
+		s.fail(false)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		s.fail(resp.StatusCode == http.StatusTooManyRequests)
+		return
+	}
+	s.ok(time.Since(t0))
+}

@@ -1,0 +1,175 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// newTarget spins up a real egobwd API server with one generated graph.
+func newTarget(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := server.New()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	body, _ := json.Marshal(map[string]any{
+		"name":      "demo",
+		"generator": map[string]any{"model": "ba", "n": 500, "mper": 3, "seed": 7},
+	})
+	resp, err := http.Post(ts.URL+"/graphs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("load graph: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("load graph: status %d", resp.StatusCode)
+	}
+	return ts
+}
+
+func TestRunReadsOnly(t *testing.T) {
+	ts := newTarget(t)
+	res, err := Run(context.Background(), Config{
+		ReadURL:  ts.URL,
+		Graph:    "demo",
+		Rate:     400,
+		Duration: 300 * time.Millisecond,
+		K:        5,
+		Algo:     "opt",
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Reads.Count == 0 {
+		t.Fatal("no reads completed")
+	}
+	if res.Writes.Count != 0 {
+		t.Fatalf("writes ran with WriteFrac=0: %d", res.Writes.Count)
+	}
+	if res.Reads.Errors != 0 {
+		t.Fatalf("read errors: %d", res.Reads.Errors)
+	}
+	if res.Reads.P50 <= 0 || res.Reads.P99 < res.Reads.P50 || res.Reads.Max < res.Reads.P99 {
+		t.Fatalf("implausible quantiles: p50=%v p99=%v max=%v", res.Reads.P50, res.Reads.P99, res.Reads.Max)
+	}
+	if res.Achieved <= 0 {
+		t.Fatalf("achieved rate %v", res.Achieved)
+	}
+}
+
+func TestRunMixed(t *testing.T) {
+	ts := newTarget(t)
+	res, err := Run(context.Background(), Config{
+		ReadURL:   ts.URL,
+		Graph:     "demo",
+		Rate:      400,
+		WriteFrac: 0.5,
+		Batch:     4,
+		Duration:  300 * time.Millisecond,
+		Seed:      42,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Reads.Count == 0 || res.Writes.Count == 0 {
+		t.Fatalf("want both classes, got reads=%d writes=%d", res.Reads.Count, res.Writes.Count)
+	}
+	if res.Reads.Errors != 0 || res.Writes.Errors != 0 {
+		t.Fatalf("errors: reads=%d writes=%d", res.Reads.Errors, res.Writes.Errors)
+	}
+}
+
+func TestRunSeparateWriteTarget(t *testing.T) {
+	readTS := newTarget(t)
+	writeTS := newTarget(t)
+	res, err := Run(context.Background(), Config{
+		ReadURL:   readTS.URL,
+		WriteURL:  writeTS.URL,
+		Graph:     "demo",
+		Rate:      300,
+		WriteFrac: 0.3,
+		Duration:  200 * time.Millisecond,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Writes.Count == 0 {
+		t.Fatal("no writes against the separate write target")
+	}
+	if res.Writes.Errors != 0 {
+		t.Fatalf("write errors: %d", res.Writes.Errors)
+	}
+}
+
+func TestRunUnknownGraphFailsFast(t *testing.T) {
+	ts := newTarget(t)
+	_, err := Run(context.Background(), Config{
+		ReadURL:  ts.URL,
+		Graph:    "nope",
+		Rate:     10,
+		Duration: time.Second,
+	})
+	if err == nil {
+		t.Fatal("want startup error for unknown graph")
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Graph: "g", Rate: 0, Duration: time.Second},
+		{Graph: "g", Rate: 10, Duration: 0},
+		{Graph: "g", Rate: 10, Duration: time.Second, WriteFrac: 1.5},
+		{Rate: 10, Duration: time.Second},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("case %d: want config error", i)
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ts := newTarget(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Run(ctx, Config{
+		ReadURL:  ts.URL,
+		Graph:    "demo",
+		Rate:     100,
+		Duration: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation ignored: ran %v", elapsed)
+	}
+	_ = res
+}
+
+func TestQuantile(t *testing.T) {
+	s := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := quantile(s, 0.5); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	if got := quantile(s, 0.9); got != 9 {
+		t.Errorf("p90 = %v, want 9", got)
+	}
+	if got := quantile(s, 1.0); got != 10 {
+		t.Errorf("p100 = %v, want 10", got)
+	}
+	if got := quantile(s[:1], 0.99); got != 1 {
+		t.Errorf("single-sample p99 = %v, want 1", got)
+	}
+}

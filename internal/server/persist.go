@@ -159,11 +159,53 @@ func (r *Registry) Close() error {
 	return first
 }
 
+// RecoverFailure is one graph Recover could not bring back.
+type RecoverFailure struct {
+	Graph string
+	Err   error
+}
+
+func (f RecoverFailure) Error() string {
+	return fmt.Sprintf("server: recover graph %q: %v", f.Graph, f.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (f RecoverFailure) Unwrap() error { return f.Err }
+
+// RecoverError collects the per-graph failures of one Recover pass. It
+// implements Unwrap() []error, so errors.Is/As reach into every failure —
+// existing callers testing errors.Is(err, ErrDuplicate) keep working.
+type RecoverError struct {
+	Failures []RecoverFailure
+}
+
+func (e *RecoverError) Error() string {
+	if len(e.Failures) == 1 {
+		return e.Failures[0].Error()
+	}
+	return fmt.Sprintf("server: recover: %d graphs failed (first: %v)", len(e.Failures), e.Failures[0])
+}
+
+// Unwrap returns the per-graph failures for errors.Is/As traversal.
+func (e *RecoverError) Unwrap() []error {
+	errs := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		errs[i] = f
+	}
+	return errs
+}
+
 // Recover loads every graph persisted under the registry's data directory:
 // latest snapshot, then the WAL tail replayed through the paper's
 // maintainer. It returns the recovered graphs' summaries. Call it once,
 // before serving traffic; recovering a name that is already registered is an
 // error.
+//
+// One broken graph does not abort the boot: every remaining graph is still
+// recovered and served, and the failures come back collected in a
+// *RecoverError alongside the successful summaries — the daemon logs them
+// and keeps the healthy graphs online rather than refusing to start over
+// one bad directory.
 func (r *Registry) Recover() ([]GraphInfo, error) {
 	if r.dataDir == "" {
 		return nil, nil
@@ -173,12 +215,17 @@ func (r *Registry) Recover() ([]GraphInfo, error) {
 		return nil, fmt.Errorf("server: recover: %w", err)
 	}
 	infos := make([]GraphInfo, 0, len(names))
+	var failures []RecoverFailure
 	for _, name := range names {
 		gi, err := r.recoverOne(name)
 		if err != nil {
-			return infos, fmt.Errorf("server: recover graph %q: %w", name, err)
+			failures = append(failures, RecoverFailure{Graph: name, Err: err})
+			continue
 		}
 		infos = append(infos, gi)
+	}
+	if len(failures) > 0 {
+		return infos, &RecoverError{Failures: failures}
 	}
 	return infos, nil
 }
@@ -204,12 +251,29 @@ func (r *Registry) recoverOne(name string) (GraphInfo, error) {
 	if err != nil {
 		return GraphInfo{}, err
 	}
-	mode, err := modeFromTag(rec.Meta.Mode)
+	e, err := r.restoreEntry(name, st, rec)
 	if err != nil {
 		st.Close()
 		return GraphInfo{}, err
 	}
+	if err := r.register(e); err != nil {
+		st.Close()
+		return GraphInfo{}, err
+	}
+	return e.info(), nil
+}
 
+// restoreEntry builds a served entry from a store's recovered state: the
+// maintainer via fast-import or rebuild, the WAL tail replayed through
+// applyLocked, the first snapshot published as a fully compacted CSR. It is
+// the shared trunk of crash recovery (recoverOne) and replica installation
+// (InstallReplica, where st may be nil for a memory-only follower). The
+// entry is complete but unregistered; callers hand it to register.
+func (r *Registry) restoreEntry(name string, st *store.Store, rec *store.Recovered) (*entry, error) {
+	mode, err := modeFromTag(rec.Meta.Mode)
+	if err != nil {
+		return nil, err
+	}
 	e := r.newEntry(name, mode)
 	e.st = st
 	t0 := time.Now()
@@ -220,6 +284,12 @@ func (r *Registry) recoverOne(name string) (GraphInfo, error) {
 	case rec.State == nil:
 		e.recoverReason = "no maintainer-state section in snapshot"
 	}
+	// Invalid persisted metadata must not fail the boot over a value the
+	// rebuild path can substitute — but substituting silently would hide
+	// that the served lazy-k is not what the checkpoint claimed, so the
+	// fallback is recorded and survives into recover_reason whichever
+	// maintainer path wins below.
+	var metaReason string
 	if mode == ModeLocal {
 		if rec.State != nil && rec.StateErr == nil {
 			if rec.State.Local == nil {
@@ -236,6 +306,7 @@ func (r *Registry) recoverOne(name string) (GraphInfo, error) {
 	} else {
 		lazyK := int(rec.Meta.LazyK)
 		if lazyK < 1 {
+			metaReason = fmt.Sprintf("persisted lazy-k %d invalid; serving fallback k=10", lazyK)
 			lazyK = 10
 		}
 		if rec.State != nil && rec.StateErr == nil {
@@ -251,8 +322,16 @@ func (r *Registry) recoverOne(name string) (GraphInfo, error) {
 			e.lazy = dynamic.NewLazyTopKParallel(rec.Graph, lazyK, e.workers)
 		}
 	}
+	if metaReason != "" {
+		if e.recoverReason != "" {
+			e.recoverReason += "; "
+		}
+		e.recoverReason += metaReason
+	}
+	lastSeq := rec.Meta.Seq
 	for _, b := range rec.Tail {
 		e.applyLocked(b.Edges, b.Insert)
+		lastSeq = b.Seq
 	}
 	// The epoch restarts at wal-seq+1, so it keeps advancing with the
 	// batch sequence across restarts instead of snapping back to 1. The
@@ -260,20 +339,30 @@ func (r *Registry) recoverOne(name string) (GraphInfo, error) {
 	// previous publication exists to overlay on. The checkpointed relabel
 	// permutation (if any, and still a bijection after the tail replay)
 	// restores the exact pre-crash internal layout.
-	s := e.buildFullSnapshot(st.Seq()+1, rec.Perm)
+	s := e.buildFullSnapshot(lastSeq+1, rec.Perm)
 	s.publishDur = time.Since(t0)
 	e.lastCompactNs.Store(s.publishDur.Nanoseconds())
 	e.snap.Store(s)
 	e.sinceCkpt = len(rec.Tail)
+	e.replSeq.Store(lastSeq)
+	if r.leader != "" {
+		e.replica = true
+		e.replCaughtNano.Store(time.Now().UnixNano())
+	}
 	e.mirrorPersist()
+	return e, nil
+}
 
+// register publishes a completed entry under its name and starts its writer
+// goroutine. On a name collision the entry is NOT registered and the caller
+// still owns its resources (notably the store handle).
+func (r *Registry) register(e *entry) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.entries[name]; dup {
-		st.Close()
-		return GraphInfo{}, fmt.Errorf("graph already registered: %w", ErrDuplicate)
+	if _, dup := r.entries[e.name]; dup {
+		return fmt.Errorf("graph already registered: %w", ErrDuplicate)
 	}
-	r.entries[name] = e
+	r.entries[e.name] = e
 	go e.writerLoop(r)
-	return e.info(), nil
+	return nil
 }

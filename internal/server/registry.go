@@ -153,6 +153,31 @@ const (
 // Retry-After so well-behaved clients pace themselves.
 var ErrBacklog = fmt.Errorf("write queue full")
 
+// BacklogError is the concrete backpressure rejection: it matches ErrBacklog
+// under errors.Is and carries the derived pacing hint — how long the queued
+// work should take to drain — so the HTTP layer's Retry-After reflects the
+// actual backlog instead of a constant.
+type BacklogError struct {
+	Graph      string
+	Capacity   int
+	RetryAfter time.Duration
+}
+
+func (b *BacklogError) Error() string {
+	return fmt.Sprintf("server: graph %q: %v (capacity %d, retry in %v)",
+		b.Graph, ErrBacklog, b.Capacity, b.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrBacklog) match, keeping every existing caller
+// that tests for the sentinel working.
+func (b *BacklogError) Is(target error) bool { return target == ErrBacklog }
+
+// ErrReadOnly marks a mutation rejected because the registry runs as a
+// read-only follower (WithLeader): graph loads, removals, and edge updates
+// belong on the leader. The HTTP layer answers 403 with the leader's address
+// so clients can redirect themselves.
+var ErrReadOnly = fmt.Errorf("read-only replica")
+
 // writeReq is one admitted edge batch waiting for the writer goroutine.
 // done is nil for AckAsync (nobody listens); for AckDurable it carries the
 // commit outcome and is buffered so the writer never blocks replying.
@@ -273,6 +298,18 @@ type entry struct {
 	walBytes atomic.Int64
 	snapSeq  atomic.Uint64
 	ckpts    atomic.Int64
+
+	// Replication state (DESIGN.md §13). replica marks an entry driven by
+	// WAL shipping instead of client writes (set once before publication).
+	// replSeq is the last shipped batch sequence applied locally (the
+	// walSeq mirror's equivalent for memory-only replicas); replLeaderSeq
+	// the leader's durable sequence as of the last poll; replCaughtNano the
+	// wall clock of the last caught-up poll — together they derive the
+	// staleness figures GraphInfo reports, all lock-free.
+	replica        bool
+	replSeq        atomic.Uint64
+	replLeaderSeq  atomic.Uint64
+	replCaughtNano atomic.Int64
 }
 
 // ErrDuplicate marks an Add that lost to an existing graph of the same
@@ -335,6 +372,11 @@ type Registry struct {
 	ckptBatches int
 	ckptBytes   int64
 	crashHook   func(graph, point string) error
+
+	// Replication (DESIGN.md §13). A non-empty leader URL makes this
+	// registry a read-only follower: client mutations are rejected with
+	// ErrReadOnly, and graphs arrive through the Target methods instead.
+	leader string
 }
 
 // RegistryOption configures a Registry.
@@ -439,6 +481,15 @@ func WithRelabeling(on bool) RegistryOption {
 	return func(r *Registry) { r.relabel = on }
 }
 
+// WithLeader makes the registry a read-only follower of the leader at url:
+// Add, Remove, and ApplyEdgesAck reject with ErrReadOnly (the HTTP layer
+// maps that to 403 plus the leader's address), while the ship.Target methods
+// — InstallReplica, ApplyReplica — keep the served graphs converging on the
+// leader's WAL stream. Reads are unrestricted; that is the point.
+func WithLeader(url string) RegistryOption {
+	return func(r *Registry) { r.leader = url }
+}
+
 // WithCrashHook installs a crash-injection hook on every graph store,
 // invoked at each durability point with the graph name; a non-nil return
 // aborts the operation exactly there, leaving the files as a real crash
@@ -491,6 +542,18 @@ func (r *Registry) newEntry(name, mode string) *entry {
 	}
 }
 
+// Leader returns the leader URL this registry follows, or "" when it is a
+// writable leader itself.
+func (r *Registry) Leader() string { return r.leader }
+
+// readOnlyErr rejects a client mutation on a follower registry.
+func (r *Registry) readOnlyErr(op string) error {
+	if r.leader == "" {
+		return nil
+	}
+	return fmt.Errorf("server: %s: %w (leader: %s)", op, ErrReadOnly, r.leader)
+}
+
 // get returns the entry for name.
 func (r *Registry) get(name string) (*entry, error) {
 	r.mu.RLock()
@@ -533,6 +596,9 @@ func (r *Registry) Add(name string, g *graph.Graph, mode string, lazyK int) (Gra
 	}
 	if mode != ModeLocal && mode != ModeLazy {
 		return GraphInfo{}, fmt.Errorf("server: unknown mode %q (want %q or %q)", mode, ModeLocal, ModeLazy)
+	}
+	if err := r.readOnlyErr("load graph"); err != nil {
+		return GraphInfo{}, err
 	}
 	// Building a maintainer computes every vertex's score — the most
 	// expensive operation here — so fail the common duplicate case before
@@ -596,6 +662,9 @@ func (r *Registry) Add(name string, g *graph.Graph, mode string, lazyK int) (Gra
 // it can no longer append to or checkpoint into the deleted directory,
 // resurrecting it on disk.
 func (r *Registry) Remove(name string) error {
+	if err := r.readOnlyErr("remove graph"); err != nil {
+		return err
+	}
 	r.mu.Lock()
 	e, ok := r.entries[name]
 	if !ok {
@@ -648,8 +717,26 @@ func (e *entry) enqueue(req *writeReq) error {
 		return nil
 	default:
 		e.writeRejects.Add(1)
-		return fmt.Errorf("server: graph %q: %w (capacity %d)", e.name, ErrBacklog, cap(e.queue))
+		return &BacklogError{Graph: e.name, Capacity: cap(e.queue), RetryAfter: e.retryAfter()}
 	}
+}
+
+// retryAfter estimates how long a rejected writer should wait: the queued
+// batches drain in ceil(depth/maxGroup) group commits, each taking at least
+// the coalescing window. The 1s floor keeps the hint meaningful when the
+// window is zero (drains are then bounded by fsync + publication, which the
+// estimate cannot see); the 60s cap keeps a pathological configuration from
+// parking clients for minutes.
+func (e *entry) retryAfter() time.Duration {
+	drains := (len(e.queue) + e.maxGroup - 1) / e.maxGroup
+	est := time.Duration(drains) * e.flush
+	if est < time.Second {
+		return time.Second
+	}
+	if est > 60*time.Second {
+		return 60 * time.Second
+	}
+	return est
 }
 
 // GraphInfo summarizes one served graph.
@@ -712,6 +799,15 @@ type GraphInfo struct {
 	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
 	Checkpoints int64  `json:"checkpoints,omitempty"`
 
+	// Replication accounting (set only on follower-side entries, DESIGN.md
+	// §13): ReplicaLagSeq is how many durable leader batches the local state
+	// has not applied yet as of the last shipping poll, and ReplicaLagMS how
+	// long ago the replica was last fully caught up — 0/absent while it is.
+	// Together they bound the staleness a read served here can exhibit.
+	Replica       bool    `json:"replica,omitempty"`
+	ReplicaLagSeq uint64  `json:"replica_lag_seq,omitempty"`
+	ReplicaLagMS  float64 `json:"replica_lag_ms,omitempty"`
+
 	// Recovery accounting (set only on entries that came up via Recover):
 	// "fast" when the checkpoint's maintainer-state section was imported
 	// instead of recomputed, "rebuild" otherwise, with the reason for the
@@ -757,6 +853,16 @@ func (e *entry) infoAt(s *snapshot) GraphInfo {
 		gi.WALBytes = e.walBytes.Load()
 		gi.SnapshotSeq = e.snapSeq.Load()
 		gi.Checkpoints = e.ckpts.Load()
+	}
+	if e.replica {
+		gi.Replica = true
+		rs := e.replSeq.Load()
+		if ls := e.replLeaderSeq.Load(); ls > rs {
+			gi.ReplicaLagSeq = ls - rs
+			if t := e.replCaughtNano.Load(); t > 0 {
+				gi.ReplicaLagMS = float64(time.Now().UnixNano()-t) / 1e6
+			}
+		}
 	}
 	gi.RecoverPath = e.recoverPath
 	gi.RecoverReason = e.recoverReason
@@ -1024,6 +1130,9 @@ func (r *Registry) ApplyEdges(name string, edges [][2]int32, insert bool) (Updat
 func (r *Registry) ApplyEdgesAck(name string, edges [][2]int32, insert bool, ack string) (UpdateResult, error) {
 	e, err := r.get(name)
 	if err != nil {
+		return UpdateResult{}, err
+	}
+	if err := r.readOnlyErr("apply edges"); err != nil {
 		return UpdateResult{}, err
 	}
 	if len(edges) == 0 {

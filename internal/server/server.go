@@ -114,6 +114,14 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// leaderHint attaches the leader's address to a read-only rejection, so a
+// client holding only the follower's URL learns where writes go.
+func (s *Server) leaderHint(w http.ResponseWriter) {
+	if l := s.reg.Leader(); l != "" {
+		w.Header().Set("X-Leader", l)
+	}
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
@@ -255,6 +263,9 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusBadRequest
 		if errors.Is(err, ErrDuplicate) {
 			status = http.StatusConflict
+		} else if errors.Is(err, ErrReadOnly) {
+			status = http.StatusForbidden
+			s.leaderHint(w)
 		}
 		writeError(w, status, err)
 		return
@@ -275,7 +286,12 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if err := s.reg.Remove(name); err != nil {
-		writeError(w, http.StatusNotFound, err)
+		status := http.StatusNotFound
+		if errors.Is(err, ErrReadOnly) {
+			status = http.StatusForbidden
+			s.leaderHint(w)
+		}
+		writeError(w, status, err)
 		return
 	}
 	s.logf("server: removed graph %q", name)
@@ -367,9 +383,19 @@ func (s *Server) handleEdges(insert bool) http.HandlerFunc {
 			// ApplyEdgesAck documents this — but the operator needs the
 			// 500 more than the client needs the partial result.)
 			status := http.StatusBadRequest
-			if errors.Is(err, ErrBacklog) {
+			var be *BacklogError
+			if errors.As(err, &be) {
+				// Retry-After derived from the actual backlog: queue depth,
+				// group size, and the coalescing window (see retryAfter).
+				status = http.StatusTooManyRequests
+				secs := int64((be.RetryAfter + time.Second - 1) / time.Second)
+				w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			} else if errors.Is(err, ErrBacklog) {
 				status = http.StatusTooManyRequests
 				w.Header().Set("Retry-After", "1")
+			} else if errors.Is(err, ErrReadOnly) {
+				status = http.StatusForbidden
+				s.leaderHint(w)
 			} else if errors.Is(err, ErrStorage) {
 				status = http.StatusInternalServerError
 			} else if _, lookupErr := s.reg.Info(name); lookupErr != nil {

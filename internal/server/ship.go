@@ -1,0 +1,138 @@
+package server
+
+// This file is the leader side of snapshot/WAL-shipping replication
+// (DESIGN.md §13): the Registry implements ship.Source so the shipping
+// handler can serve checkpoints and WAL tails without touching the write
+// path. Everything here is lock-free with respect to e.mu — positions come
+// from the entry's atomic persistence mirrors, bytes from independent
+// read-only opens of files the writer only ever renames over (the snapshot)
+// or appends to within a segment (the WAL). The one race that matters — a
+// checkpoint truncating the WAL between our position check and our read —
+// is caught by re-checking the segment mirror after the read: the mirrors
+// are updated after every durable operation, so a segment that still
+// matches brackets the read in one WAL incarnation.
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/ship"
+	"repro/internal/store"
+)
+
+// maxShipChunk caps one WAL-tail response. A follower further behind simply
+// fetches again; the cap bounds the leader's per-request allocation and
+// keeps a slow receiver from holding a huge buffer alive.
+const maxShipChunk = 1 << 20
+
+// shipEntry resolves a graph for shipping: it must exist and be durable.
+func (r *Registry) shipEntry(name string) (*entry, error) {
+	e, err := r.get(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q", ship.ErrUnknownGraph, name)
+	}
+	if e.st == nil {
+		return nil, fmt.Errorf("%w: %q", ship.ErrNotShippable, name)
+	}
+	return e, nil
+}
+
+// ShipGraphs lists the durable graphs this registry can ship, sorted.
+func (r *Registry) ShipGraphs() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.entries))
+	for n, e := range r.entries {
+		if e.st != nil { // set once before publication, safe to read
+			names = append(names, n)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// ShipStatus reports the current shipping position from the entry's atomic
+// mirrors. The three loads are not one consistent cut — a checkpoint may
+// land between them — but each field is monotonic within its meaning and
+// the follower treats the whole Status as advisory, re-validating against
+// ShipWALTail's segment check before trusting any byte.
+func (r *Registry) ShipStatus(name string) (ship.Status, error) {
+	e, err := r.shipEntry(name)
+	if err != nil {
+		return ship.Status{}, err
+	}
+	return ship.Status{
+		Segment:  e.snapSeq.Load(),
+		Seq:      e.walSeq.Load(),
+		WALBytes: e.walBytes.Load(),
+	}, nil
+}
+
+// ShipCheckpoint returns the graph's current snapshot file image. Checkpoints
+// replace the file by rename, so one open captures one complete image —
+// either the old checkpoint or the new one, never a mix; the decode check is
+// pure paranoia (and catches on-disk corruption before it ships).
+func (r *Registry) ShipCheckpoint(name string) ([]byte, error) {
+	e, err := r.shipEntry(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(store.SnapshotPath(e.st.Dir()))
+	if err != nil {
+		return nil, fmt.Errorf("ship: read checkpoint for %q: %w", name, err)
+	}
+	if _, err := store.PeekSnapshotMeta(data); err != nil {
+		return nil, fmt.Errorf("ship: checkpoint for %q unreadable: %w", name, err)
+	}
+	return data, nil
+}
+
+// ShipWALTail returns the WAL bytes of segment from offset up to the durable
+// end (at most maxShipChunk of them) plus the leader's durable sequence. The
+// segment mirror is checked before and after the file read: a checkpoint
+// completing in between truncates the file under us, and the second check
+// turns whatever ReadAt saw into ErrSegmentGone instead of shipped garbage.
+func (r *Registry) ShipWALTail(name string, segment uint64, offset int64) ([]byte, uint64, error) {
+	e, err := r.shipEntry(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	if offset < store.WALHeaderLen {
+		return nil, 0, fmt.Errorf("ship: offset %d inside the wal header (first record at %d)", offset, store.WALHeaderLen)
+	}
+	if e.snapSeq.Load() != segment {
+		return nil, 0, fmt.Errorf("%w: segment %d (current %d)", ship.ErrSegmentGone, segment, e.snapSeq.Load())
+	}
+	end := e.walBytes.Load()
+	leaderSeq := e.walSeq.Load()
+	if offset >= end {
+		if e.snapSeq.Load() != segment {
+			return nil, 0, fmt.Errorf("%w: segment %d", ship.ErrSegmentGone, segment)
+		}
+		if offset > end {
+			return nil, 0, fmt.Errorf("ship: offset %d beyond durable end %d", offset, end)
+		}
+		return nil, leaderSeq, nil
+	}
+	n := end - offset
+	if n > maxShipChunk {
+		n = maxShipChunk
+	}
+	f, err := os.Open(store.WALPath(e.st.Dir()))
+	if err != nil {
+		return nil, 0, fmt.Errorf("ship: open wal for %q: %w", name, err)
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	m, rerr := f.ReadAt(buf, offset)
+	if e.snapSeq.Load() != segment {
+		return nil, 0, fmt.Errorf("%w: segment %d checkpointed away mid-read", ship.ErrSegmentGone, segment)
+	}
+	if rerr != nil && m < len(buf) {
+		// The segment is unchanged yet the durable range read short — not a
+		// protocol condition, just an I/O failure worth retrying.
+		return nil, 0, fmt.Errorf("ship: read wal for %q at %d: %w", name, offset, rerr)
+	}
+	return buf[:m], leaderSeq, nil
+}

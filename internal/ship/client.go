@@ -1,0 +1,116 @@
+package ship
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// maxErrorBody bounds how much of an error response is read into messages.
+const maxErrorBody = 4 << 10
+
+// Client speaks the shipping protocol to a leader. The base URL is mutable
+// (SetBase) so a follower can be repointed — e.g. at a restarted leader on a
+// new port — without rebuilding its replication state.
+type Client struct {
+	base atomic.Pointer[string]
+	hc   *http.Client
+}
+
+// NewClient returns a client for the leader at base (scheme://host[:port],
+// with or without a trailing slash). hc defaults to http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	c := &Client{hc: hc}
+	c.SetBase(base)
+	return c
+}
+
+// SetBase repoints the client at a different leader address.
+func (c *Client) SetBase(base string) {
+	base = strings.TrimRight(base, "/")
+	c.base.Store(&base)
+}
+
+// Base returns the current leader address.
+func (c *Client) Base() string { return *c.base.Load() }
+
+// Graphs lists the graphs the leader ships.
+func (c *Client) Graphs(ctx context.Context) ([]string, error) {
+	body, _, err := c.get(ctx, "/ship/graphs")
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	if err := json.Unmarshal(body, &names); err != nil {
+		return nil, fmt.Errorf("ship: malformed graph list: %w", err)
+	}
+	return names, nil
+}
+
+// Status fetches the leader's current shipping position for one graph.
+func (c *Client) Status(ctx context.Context, graph string) (Status, error) {
+	body, _, err := c.get(ctx, "/ship/graphs/"+url.PathEscape(graph)+"/status")
+	if err != nil {
+		return Status{}, err
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		return Status{}, fmt.Errorf("ship: malformed status: %w", err)
+	}
+	return st, nil
+}
+
+// Checkpoint fetches the leader's current snapshot image for one graph.
+func (c *Client) Checkpoint(ctx context.Context, graph string) ([]byte, error) {
+	body, _, err := c.get(ctx, "/ship/graphs/"+url.PathEscape(graph)+"/checkpoint")
+	return body, err
+}
+
+// WALTail fetches segment bytes from offset to the leader's durable end.
+// leaderSeq is the leader's durable sequence at read time (X-Ship-Seq). An
+// empty data slice with a nil error means the follower is at the end of the
+// durable log. ErrSegmentGone means the segment was checkpointed away.
+func (c *Client) WALTail(ctx context.Context, graph string, segment uint64, offset int64) (data []byte, leaderSeq uint64, err error) {
+	path := fmt.Sprintf("/ship/graphs/%s/wal?segment=%d&offset=%d", url.PathEscape(graph), segment, offset)
+	body, hdr, err := c.get(ctx, path)
+	if err != nil {
+		return nil, 0, err
+	}
+	leaderSeq, err = strconv.ParseUint(hdr.Get(HeaderSeq), 10, 64)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ship: leader omitted %s on wal response: %w", HeaderSeq, err)
+	}
+	return body, leaderSeq, nil
+}
+
+// get issues one GET against the current base, mapping error statuses back
+// to the protocol sentinels.
+func (c *Client) get(ctx context.Context, path string) ([]byte, http.Header, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base()+path, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBody))
+		return nil, nil, statusToError(resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ship: reading leader response: %w", err)
+	}
+	return body, resp.Header, nil
+}

@@ -1,0 +1,120 @@
+package ship
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Header names carrying stream positions alongside binary bodies.
+const (
+	// HeaderSeq is the leader's durable batch sequence at response time; on
+	// a checkpoint response it is the sequence folded into the snapshot
+	// (equal to the segment its WAL continues from).
+	HeaderSeq = "X-Ship-Seq"
+	// HeaderSegment is the WAL segment a checkpoint response anchors.
+	HeaderSegment = "X-Ship-Segment"
+)
+
+// NewHandler serves a Source over HTTP. Routes (all GET, all read-only):
+//
+//	/ship/graphs                              JSON ["name", ...]
+//	/ship/graphs/{name}/status                JSON Status
+//	/ship/graphs/{name}/checkpoint            snapshot bytes + X-Ship-Segment/X-Ship-Seq
+//	/ship/graphs/{name}/wal?segment=S&offset=O WAL record bytes + X-Ship-Seq
+//
+// Error mapping: ErrUnknownGraph → 404, ErrNotShippable → 409,
+// ErrSegmentGone → 410 (the follower's cue to resynchronize), bad
+// parameters → 400, anything else → 500. Mount it at the server root — the
+// routes already carry the /ship/ prefix.
+func NewHandler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ship/graphs", func(w http.ResponseWriter, r *http.Request) {
+		names := src.ShipGraphs()
+		if names == nil {
+			names = []string{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(names); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("GET /ship/graphs/{name}/status", func(w http.ResponseWriter, r *http.Request) {
+		st, err := src.ShipStatus(r.PathValue("name"))
+		if err != nil {
+			shipError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(st); err != nil {
+			return
+		}
+	})
+	mux.HandleFunc("GET /ship/graphs/{name}/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		data, err := src.ShipCheckpoint(r.PathValue("name"))
+		if err != nil {
+			shipError(w, err)
+			return
+		}
+		st, err := src.ShipStatus(r.PathValue("name"))
+		if err != nil {
+			shipError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set(HeaderSegment, strconv.FormatUint(st.Segment, 10))
+		w.Header().Set(HeaderSeq, strconv.FormatUint(st.Seq, 10))
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("GET /ship/graphs/{name}/wal", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		segment, err1 := strconv.ParseUint(q.Get("segment"), 10, 64)
+		offset, err2 := strconv.ParseInt(q.Get("offset"), 10, 64)
+		if err1 != nil || err2 != nil || offset < 0 {
+			http.Error(w, "ship: wal requires numeric segment and offset query parameters", http.StatusBadRequest)
+			return
+		}
+		data, leaderSeq, err := src.ShipWALTail(r.PathValue("name"), segment, offset)
+		if err != nil {
+			shipError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set(HeaderSeq, strconv.FormatUint(leaderSeq, 10))
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		_, _ = w.Write(data)
+	})
+	return mux
+}
+
+// shipError maps Source sentinels onto HTTP status codes.
+func shipError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownGraph):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrNotShippable):
+		code = http.StatusConflict
+	case errors.Is(err, ErrSegmentGone):
+		code = http.StatusGone
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// statusToError is the client-side inverse of shipError, restoring the
+// sentinel so follower logic can match on it regardless of transport.
+func statusToError(code int, body string) error {
+	switch code {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrUnknownGraph, body)
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", ErrNotShippable, body)
+	case http.StatusGone:
+		return fmt.Errorf("%w: %s", ErrSegmentGone, body)
+	default:
+		return fmt.Errorf("ship: leader answered %d: %s", code, body)
+	}
+}

@@ -1,0 +1,104 @@
+// Package ship implements snapshot/WAL-shipping replication (DESIGN.md §13):
+// a leader exposes, per graph, its latest durable checkpoint plus an
+// offset-addressed stream of its WAL tail, and a follower bootstraps from the
+// checkpoint, then tails the stream and applies batches through the same
+// deterministic application path crash recovery uses — serving lock-free
+// reads at a bounded-staleness epoch on another process or machine.
+//
+// The wire format IS the storage format. A checkpoint travels as the
+// snapshot file's bytes (internal/store's CRC-checked binary CSR image,
+// maintainer-state section included, so the follower boots via the fast
+// O(load) import path), and the WAL tail travels as raw WAL record bytes —
+// the same self-delimiting, per-record CRC-checked layout the leader fsyncs
+// locally. Nothing is re-encoded on either side.
+//
+// Addressing: a WAL stream position is (segment, offset). The segment is the
+// sequence number folded into the leader's on-disk snapshot — every
+// checkpoint truncates the WAL and thereby starts a new segment — and the
+// offset is a plain byte offset into that segment's WAL file. When a
+// follower presents a superseded segment the leader answers ErrSegmentGone
+// (HTTP 410) and the follower resynchronizes: from the new segment's start
+// when its applied sequence still reaches into it, from a fresh checkpoint
+// when it does not.
+//
+// Failure contract: a chunk ending mid-record is normal (the next poll
+// re-fetches from the last complete record), but a checksum failure or any
+// sequence discontinuity on a complete record is a hard protocol error —
+// the follower discards the stream and re-bootstraps from a checkpoint.
+package ship
+
+import (
+	"errors"
+
+	"repro/internal/store"
+)
+
+// Status is a leader's current shipping position for one graph.
+type Status struct {
+	// Segment identifies the current WAL segment: the batch sequence folded
+	// into the leader's on-disk snapshot. It changes at every checkpoint.
+	Segment uint64 `json:"segment"`
+	// Seq is the last batch sequence the leader has made durable — the
+	// high-water mark a caught-up follower converges to.
+	Seq uint64 `json:"seq"`
+	// WALBytes is the current segment's file length (header included): the
+	// exclusive upper bound of fetchable offsets.
+	WALBytes int64 `json:"wal_bytes"`
+}
+
+// Errors a Source reports and the HTTP layer maps to status codes (and the
+// client maps back, so follower logic matches on these regardless of
+// transport).
+var (
+	// ErrUnknownGraph: the leader serves no graph by that name (HTTP 404).
+	ErrUnknownGraph = errors.New("ship: unknown graph")
+	// ErrNotShippable: the graph exists but has no durable store — nothing
+	// to checkpoint or tail (HTTP 409).
+	ErrNotShippable = errors.New("ship: graph has no durable store to ship")
+	// ErrSegmentGone: the requested WAL segment was superseded by a
+	// checkpoint; the follower must resynchronize (HTTP 410).
+	ErrSegmentGone = errors.New("ship: wal segment superseded by a checkpoint")
+)
+
+// Source is the leader side: what the shipping handler serves. The serving
+// registry implements it lock-free — status from its atomic persistence
+// mirrors, checkpoint and WAL bytes from independent read-only file handles
+// (both files are safe to read concurrently with the writer: the snapshot is
+// only ever replaced by rename, the WAL only appended to within a segment).
+type Source interface {
+	// ShipGraphs lists the graphs this leader can ship (durable ones).
+	ShipGraphs() []string
+	// ShipStatus reports the current segment, durable sequence, and segment
+	// length for one graph.
+	ShipStatus(graph string) (Status, error)
+	// ShipCheckpoint returns the graph's current snapshot file image. Its
+	// metadata (store.PeekSnapshotMeta) carries the sequence it folds —
+	// which is also the segment its WAL tail continues from.
+	ShipCheckpoint(graph string) ([]byte, error)
+	// ShipWALTail returns the WAL bytes of segment from offset to the
+	// current durable end (possibly empty), plus the leader's durable
+	// sequence at read time. A superseded segment fails with ErrSegmentGone.
+	ShipWALTail(graph string, segment uint64, offset int64) (data []byte, leaderSeq uint64, err error)
+}
+
+// Target is the follower side: what the Follower drives as batches arrive.
+// The serving registry implements it; all methods must be safe for
+// concurrent use with readers.
+type Target interface {
+	// ReplicaSeq reports the locally applied batch sequence for a graph, or
+	// ok=false when the graph is not installed locally (first contact, or a
+	// follower restarting without a data directory).
+	ReplicaSeq(graph string) (seq uint64, ok bool)
+	// InstallReplica (re)creates the local graph from a leader checkpoint
+	// image, replacing any existing local state — the bootstrap and the
+	// diverged-history resync both land here.
+	InstallReplica(graph string, snapshot []byte) error
+	// ApplyReplica applies shipped batches, in order, through the same
+	// deterministic path crash recovery replays, and publishes the result.
+	// Batches must continue the local sequence exactly (prev+1 each).
+	ApplyReplica(graph string, batches []store.Batch) error
+	// NoteReplica records replication progress for observability: the
+	// leader's durable sequence as of the last poll and whether the local
+	// state had fully caught up to it.
+	NoteReplica(graph string, leaderSeq uint64, caughtUp bool)
+}

@@ -135,6 +135,22 @@ func snapshotLayout(data []byte) (version uint16, n, graphLen uint64, err error)
 	return version, n, graphLen, nil
 }
 
+// PeekSnapshotMeta validates a snapshot image's header far enough to read
+// its serving metadata — notably Meta.Seq, which identifies the WAL segment
+// that continues after this checkpoint — without decoding the CSR body. The
+// shipping layer uses it to label a checkpoint it serves or fetched; the
+// full structural validation still happens at DecodeSnapshot time.
+func PeekSnapshotMeta(data []byte) (SnapshotMeta, error) {
+	if _, _, _, err := snapshotLayout(data); err != nil {
+		return SnapshotMeta{}, err
+	}
+	return SnapshotMeta{
+		Mode:  data[6],
+		LazyK: binary.LittleEndian.Uint32(data[8:12]),
+		Seq:   binary.LittleEndian.Uint64(data[12:20]),
+	}, nil
+}
+
 // DecodeSnapshot parses the graph part of a snapshot produced by
 // EncodeSnapshot or EncodeSnapshotWithState, validating the version, every
 // length prefix, the graph checksum, and finally the full CSR structural

@@ -22,6 +22,49 @@ const (
 	lockFile     = "LOCK"
 )
 
+// WALHeaderLen is the byte length of the WAL file header — the smallest
+// offset a WAL tail stream can start at. Record bytes begin here.
+const WALHeaderLen = walHeaderLen
+
+// SnapshotPath returns the snapshot file inside a graph's store directory.
+// The file is only ever replaced by an atomic rename, so an independent
+// reader (the shipping layer serving a checkpoint) always sees a complete
+// snapshot: either the old one or the new one, never a torn mix.
+func SnapshotPath(dir string) string { return filepath.Join(dir, snapshotFile) }
+
+// WALPath returns the WAL file inside a graph's store directory. Within one
+// segment (between checkpoints) the file is append-only, so any prefix up to
+// a byte count observed after a completed append is immutable and safe to
+// read from a separate handle while the owner keeps appending.
+func WALPath(dir string) string { return filepath.Join(dir, walFile) }
+
+// InstallSnapshot initializes dir with snapshot bytes fetched from elsewhere
+// (a leader's checkpoint), validating them first — an unreadable image must
+// fail here, not at the Open that follows. No WAL is created and no lock is
+// taken: the caller follows up with Open, which starts a fresh log and takes
+// the directory lock. Any existing store content in dir is replaced, so a
+// replica re-bootstrapping onto a newer checkpoint starts clean.
+func InstallSnapshot(dir string, data []byte) error {
+	if _, _, err := DecodeSnapshot(data); err != nil {
+		return fmt.Errorf("store: install snapshot: %w", err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("store: install snapshot: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: install snapshot: %w", err)
+	}
+	path := SnapshotPath(dir)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: install snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: install snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
 // Crash-hook points. The hook runs at each named point of a durability
 // operation; a non-nil return aborts the operation exactly there, leaving
 // the on-disk files as a real crash at that instant would. The recovery test

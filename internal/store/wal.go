@@ -108,6 +108,13 @@ func decodeRecord(data []byte) (b Batch, size int, ok bool) {
 // (crash-recovery treats the first invalid record as the end of the log —
 // in an append-only file nothing after a torn write can be trusted). A bad
 // file header is a hard error: nothing in the file is usable.
+//
+// Sequence numbers within one WAL file are strictly increasing — the writer
+// assigns prev+1 under its lock — so a record whose Seq does not exceed its
+// predecessor's (a duplicate or a regression, e.g. a doubled or re-shipped
+// segment spliced onto the file) also ends the valid prefix: replaying past
+// it would double-apply batches. Like a torn tail, everything from the first
+// such record on is untrusted and gets truncated away.
 func DecodeWAL(data []byte) (batches []Batch, valid int, err error) {
 	if len(data) < walHeaderLen {
 		return nil, 0, fmt.Errorf("store: wal truncated before header (%d bytes)", len(data))
@@ -127,8 +134,48 @@ func DecodeWAL(data []byte) (batches []Batch, valid int, err error) {
 		if !ok {
 			break
 		}
+		if n := len(batches); n > 0 && b.Seq <= batches[n-1].Seq {
+			break
+		}
 		batches = append(batches, b)
 		valid += size
 	}
 	return batches, valid, nil
+}
+
+// DecodeStream decodes headerless WAL records from a shipped stream chunk —
+// the follower side of WAL shipping, where the leader's self-delimiting
+// CRC-checked record format doubles as the wire format. next is the sequence
+// the first record must carry; every following record must carry exactly
+// prev+1. consumed is how many leading bytes held complete records; a chunk
+// ending mid-record is normal (the next poll re-fetches from consumed) and
+// is not an error. Unlike local recovery, nothing here is repairable by
+// truncation: a checksum failure, a malformed record, or any sequence
+// mismatch on a complete record is a hard protocol error — the stream can no
+// longer be trusted and the follower must resynchronize from a checkpoint.
+func DecodeStream(data []byte, next uint64) (batches []Batch, consumed int, err error) {
+	for consumed < len(data) {
+		rem := data[consumed:]
+		if len(rem) < 8 {
+			break // incomplete length/crc prefix: wait for more bytes
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(rem[0:4]))
+		if payloadLen < walRecordFixed {
+			return batches, consumed, fmt.Errorf("store: stream record at offset %d: payload length %d below minimum %d", consumed, payloadLen, walRecordFixed)
+		}
+		if len(rem)-8 < payloadLen {
+			break // incomplete record body: wait for more bytes
+		}
+		b, size, ok := decodeRecord(rem)
+		if !ok {
+			return batches, consumed, fmt.Errorf("store: stream record at offset %d (seq %d expected): checksum or structure mismatch", consumed, next)
+		}
+		if b.Seq != next {
+			return batches, consumed, fmt.Errorf("store: stream sequence %d where %d was expected", b.Seq, next)
+		}
+		batches = append(batches, b)
+		consumed += size
+		next++
+	}
+	return batches, consumed, nil
 }

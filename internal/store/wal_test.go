@@ -115,6 +115,98 @@ func TestWALRecordLengthLies(t *testing.T) {
 	}
 }
 
+// TestWALSeqRegressionEndsLog: a duplicated or regressing sequence — the
+// shape a doubled or re-shipped segment leaves if it is ever spliced into a
+// local log — must end the valid prefix at the last record before the
+// regression, so recovery truncates the double-apply hazard away instead of
+// replaying it.
+func TestWALSeqRegressionEndsLog(t *testing.T) {
+	for name, tail := range map[string]Batch{
+		"duplicate":  {Seq: 2, Insert: true, Edges: [][2]int32{{4, 5}}},
+		"regression": {Seq: 1, Insert: true, Edges: [][2]int32{{4, 5}}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			good := walImage(walBatches[:2]...)
+			img := append(append([]byte(nil), good...), EncodeBatch(tail)...)
+			// A record after the regression must not resurrect the log.
+			img = append(img, EncodeBatch(Batch{Seq: 3, Insert: true, Edges: [][2]int32{{6, 7}}})...)
+			got, valid, err := DecodeWAL(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 2 || got[1].Seq != 2 {
+				t.Fatalf("decoded %d batches, want the 2 before the regression", len(got))
+			}
+			if valid != len(good) {
+				t.Fatalf("valid = %d, want %d (regression truncated)", valid, len(good))
+			}
+		})
+	}
+}
+
+// streamImage is a headerless record stream, the WAL-shipping wire format.
+func streamImage(batches ...Batch) []byte {
+	var buf []byte
+	for _, b := range batches {
+		buf = append(buf, EncodeBatch(b)...)
+	}
+	return buf
+}
+
+func TestDecodeStream(t *testing.T) {
+	img := streamImage(walBatches...)
+	got, consumed, err := DecodeStream(img, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != len(img) || len(got) != len(walBatches) {
+		t.Fatalf("consumed %d/%d bytes, %d batches", consumed, len(img), len(got))
+	}
+
+	// A chunk ending mid-record is an incomplete tail, not an error: the
+	// complete prefix decodes, consumed points at the partial record, and the
+	// next poll re-fetches from there.
+	torn := img[:len(img)-3]
+	got, consumed, err = DecodeStream(torn, 1)
+	if err != nil {
+		t.Fatalf("torn tail must not be a stream error: %v", err)
+	}
+	want := len(streamImage(walBatches[:3]...))
+	if consumed != want || len(got) != 3 {
+		t.Fatalf("torn stream: consumed %d (want %d), %d batches (want 3)", consumed, want, len(got))
+	}
+	// Resuming at the partial record with the leader's next bytes completes it.
+	got, consumed, err = DecodeStream(img[want:], 4)
+	if err != nil || len(got) != 1 || got[0].Seq != 4 || consumed != len(img)-want {
+		t.Fatalf("resume after torn tail: %d batches, consumed %d, err %v", len(got), consumed, err)
+	}
+}
+
+// TestDecodeStreamHardErrors: on the wire, unlike in local recovery, nothing
+// is repairable by truncation — a corrupt record or any sequence mismatch on
+// a complete record is a protocol error.
+func TestDecodeStreamHardErrors(t *testing.T) {
+	img := streamImage(walBatches[:2]...)
+	corrupt := append([]byte(nil), img...)
+	corrupt[len(corrupt)-1] ^= 0x10
+	if _, _, err := DecodeStream(corrupt, 1); err == nil {
+		t.Fatal("corrupt record accepted on the stream")
+	}
+	if _, _, err := DecodeStream(img, 2); err == nil {
+		t.Fatal("stream starting at the wrong sequence accepted")
+	}
+	gap := streamImage(walBatches[0], walBatches[2]) // seq 1 then 3
+	if batches, _, err := DecodeStream(gap, 1); err == nil {
+		t.Fatal("sequence gap accepted on the stream")
+	} else if len(batches) != 1 {
+		t.Fatalf("the valid prefix before the gap should still decode, got %d batches", len(batches))
+	}
+	dup := streamImage(walBatches[0], walBatches[0])
+	if _, _, err := DecodeStream(dup, 1); err == nil {
+		t.Fatal("duplicated record accepted on the stream")
+	}
+}
+
 func TestWALEncodeIsCanonical(t *testing.T) {
 	for _, b := range walBatches {
 		enc := EncodeBatch(b)
