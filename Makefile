@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-figs bench-smoke fuzz-smoke cover serve fmt lint vet clean
+.PHONY: build test bench bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-figs bench-smoke fuzz-smoke cover serve fmt lint vet clean
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,11 @@ test: vet
 # rebuild restart, the PR 7 read-path kernel rows: overlay read tax,
 # degree-relabeled search, hub×hub scalar vs word-parallel intersection,
 # and the PR 8 replication rows: follower bootstrap, read latency under
-# open-loop load, and steady-state replica lag), written to BENCH_PR8.json
+# open-loop load, and steady-state replica lag, and the PR 9 temporal
+# rows: expiry-churn drain cost at 0/16/256/2048 expired edges and
+# windowed read p50/p99 under open-loop churn), written to BENCH_PR9.json
 # so the perf trajectory is tracked across PRs.
-bench: bench-pr8
+bench: bench-pr9
 
 bench-pr5: build
 	$(GO) run ./cmd/benchtab -prbench BENCH_PR5.json
@@ -34,6 +36,9 @@ bench-pr7: build
 
 bench-pr8: build
 	$(GO) run ./cmd/benchtab -prbench BENCH_PR8.json
+
+bench-pr9: build
+	$(GO) run ./cmd/benchtab -prbench BENCH_PR9.json
 
 # Regenerate the paper's tables and figures (quick grids; -full for the
 # paper's grids). See EXPERIMENTS.md.

@@ -7,11 +7,24 @@
 //	datagen -dataset dblp -out dblp.txt
 //	datagen -model ba -n 10000 -param 3 -seed 7 -out ba.txt
 //	datagen -model chunglu -n 10000 -gamma 2.3 -avgdeg 8 -out cl.txt
+//
+// With -temporal the same graph is emitted as a timestamped edge stream
+// instead of an edge list: JSONL batches in the exact body shape of
+// POST /graphs/{name}/edges on a windowed graph, arriving every
+// -interval-ms with per-edge stamps back-dated by up to -skew-ms (seeded,
+// so the stream is deterministic — replays produce the identical WAL).
+//
+//	datagen -model ba -n 10000 -temporal -batch 64 -interval-ms 100 \
+//	    -skew-ms 2000 -out ba.stream.jsonl
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
 
 	egobw "repro"
@@ -27,6 +40,11 @@ func main() {
 	beta := flag.Float64("beta", 0.1, "ws: rewiring probability")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	out := flag.String("out", "", "output file (default stdout)")
+	temporal := flag.Bool("temporal", false, "emit a timestamped JSONL edge stream (edge-batch request bodies) instead of an edge list")
+	batch := flag.Int("batch", 64, "temporal: edges per batch")
+	startMS := flag.Int64("start-ms", 1_000_000, "temporal: unix-ms arrival time of the first batch")
+	intervalMS := flag.Int64("interval-ms", 100, "temporal: arrival spacing between batches")
+	skewMS := flag.Int64("skew-ms", 0, "temporal: back-date each edge's stamp by up to this many ms before its batch's arrival (0 = batch-level ts only)")
 	flag.Parse()
 
 	g, err := build(*ds, *model, int32(*n), *param, *gamma, *avgdeg, *beta, *seed)
@@ -34,7 +52,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
-	w := os.Stdout
+	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -44,11 +62,73 @@ func main() {
 		defer f.Close()
 		w = f
 	}
+	if *temporal {
+		nb, err := writeTemporal(w, g, *batch, *startMS, *intervalMS, *skewMS, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s as %d timestamped batches\n", egobw.Stats(g), nb)
+		return
+	}
 	if err := egobw.SaveEdgeList(w, g); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", egobw.Stats(g))
+}
+
+// streamBatch is one emitted line: the body of POST /graphs/{name}/edges.
+// Ts stamps the whole batch; Stamps (with -skew-ms) stamps per edge — the
+// two are mutually exclusive, matching the server's validation.
+type streamBatch struct {
+	Edges  [][2]int32 `json:"edges"`
+	Ts     int64      `json:"ts,omitempty"`
+	Stamps []int64    `json:"stamps,omitempty"`
+}
+
+// writeTemporal chunks g's edges (canonical EachEdge order) into batches
+// arriving intervalMS apart from startMS, back-dating each edge's stamp by a
+// seeded uniform draw in [0, skewMS]. Late arrivals — edges whose stamp
+// predates their batch — are what exercise a window's boundary handling, and
+// the determinism is what makes the stream replayable bit-for-bit.
+func writeTemporal(w io.Writer, g *egobw.Graph, batch int, startMS, intervalMS, skewMS int64, seed uint64) (int, error) {
+	if batch <= 0 {
+		return 0, fmt.Errorf("temporal: batch size %d must be positive", batch)
+	}
+	if intervalMS < 0 || skewMS < 0 {
+		return 0, fmt.Errorf("temporal: interval and skew must be non-negative")
+	}
+	var edges [][2]int32
+	g.EachEdge(func(u, v int32) bool {
+		edges = append(edges, [2]int32{u, v})
+		return true
+	})
+	rng := rand.New(rand.NewSource(int64(seed)))
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	batches := 0
+	for off := 0; off < len(edges); off += batch {
+		end := off + batch
+		if end > len(edges) {
+			end = len(edges)
+		}
+		b := streamBatch{Edges: edges[off:end]}
+		arrival := startMS + int64(batches)*intervalMS
+		if skewMS == 0 {
+			b.Ts = arrival
+		} else {
+			b.Stamps = make([]int64, len(b.Edges))
+			for i := range b.Stamps {
+				b.Stamps[i] = arrival - rng.Int63n(skewMS+1)
+			}
+		}
+		if err := enc.Encode(&b); err != nil {
+			return batches, err
+		}
+		batches++
+	}
+	return batches, bw.Flush()
 }
 
 func build(ds, model string, n int32, param int, gamma, avgdeg, beta float64, seed uint64) (*egobw.Graph, error) {

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+)
 
 func TestBuildModels(t *testing.T) {
 	for _, model := range []string{"er", "ba", "chunglu", "ws", "affiliation"} {
@@ -24,6 +29,82 @@ func TestBuildDataset(t *testing.T) {
 	}
 	if g.NumVertices() == 0 {
 		t.Fatal("empty dataset")
+	}
+}
+
+// TestTemporalStream pins the -temporal contract: every edge exactly once,
+// stamps within [arrival−skew, arrival], per-batch arrival spacing, and a
+// byte-identical stream on replay with the same seed.
+func TestTemporalStream(t *testing.T) {
+	g, err := build("", "ba", 100, 3, 0, 0, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		batch    = 16
+		startMS  = 5_000
+		interval = 250
+		skew     = 1_000
+	)
+	var buf bytes.Buffer
+	nb, err := writeTemporal(&buf, g, batch, startMS, interval, skew, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(g.NumEdges())
+	wantBatches := (want + batch - 1) / batch
+	if nb != wantBatches {
+		t.Fatalf("batches = %d, want %d", nb, wantBatches)
+	}
+
+	seen := map[[2]int32]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for i := 0; sc.Scan(); i++ {
+		var b streamBatch
+		if err := json.Unmarshal(sc.Bytes(), &b); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if b.Ts != 0 {
+			t.Fatalf("batch %d: skewed stream must use per-edge stamps, got ts=%d", i, b.Ts)
+		}
+		if len(b.Stamps) != len(b.Edges) {
+			t.Fatalf("batch %d: %d stamps for %d edges", i, len(b.Stamps), len(b.Edges))
+		}
+		arrival := int64(startMS + i*interval)
+		for j, e := range b.Edges {
+			if seen[e] {
+				t.Fatalf("batch %d: duplicate edge %v", i, e)
+			}
+			seen[e] = true
+			if s := b.Stamps[j]; s < arrival-skew || s > arrival {
+				t.Fatalf("batch %d edge %d: stamp %d outside [%d,%d]", i, j, s, arrival-skew, arrival)
+			}
+		}
+	}
+	if len(seen) != want {
+		t.Fatalf("stream carried %d distinct edges, graph has %d", len(seen), want)
+	}
+
+	var again bytes.Buffer
+	if _, err := writeTemporal(&again, g, batch, startMS, interval, skew, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("same seed produced a different stream")
+	}
+
+	// Zero skew degrades to batch-level ts.
+	var flat bytes.Buffer
+	if _, err := writeTemporal(&flat, g, batch, startMS, interval, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	var first streamBatch
+	line, _, _ := bufio.NewReader(&flat).ReadLine()
+	if err := json.Unmarshal(line, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Ts != startMS || first.Stamps != nil {
+		t.Fatalf("unskewed stream: ts=%d stamps=%v", first.Ts, first.Stamps)
 	}
 }
 

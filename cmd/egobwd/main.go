@@ -22,6 +22,10 @@
 //	egobwd -relabel                   # degree-ordered internal relabeling:
 //	                                  # recompute queries run on a hub-first
 //	                                  # CSR, same external ids and results
+//	egobwd -window 6h                 # temporal serving: graphs default to a
+//	                                  # 6-hour sliding window; edges older
+//	                                  # than that are expired through WAL-
+//	                                  # recorded delete batches
 //	egobwd -follow http://leader:8080 # read-only follower: bootstrap every
 //	                                  # graph from the leader's checkpoints,
 //	                                  # tail its WAL stream, serve reads at
@@ -71,6 +75,7 @@ type config struct {
 	compactDepth int
 	compactDirty float64
 	relabel      bool
+	window       time.Duration
 	follow       string
 	followEvery  time.Duration
 }
@@ -90,6 +95,7 @@ func main() {
 	flag.IntVar(&cfg.compactDepth, "compact-depth", 0, "compact a graph's overlay chain into a fresh base CSR once it is this many layers deep (0 = default 8; 1 compacts after every drain)")
 	flag.Float64Var(&cfg.compactDirty, "compact-dirty", 0, "also compact once the chain's dirty vertices reach this fraction of n (0 = default 0.25)")
 	flag.BoolVar(&cfg.relabel, "relabel", false, "serve recompute top-k queries (algo=opt/base) on a degree-ordered relabeled CSR; external ids and results are unchanged")
+	flag.DurationVar(&cfg.window, "window", 0, "default sliding window for created graphs (e.g. 6h): edges older than the window are expired through WAL-recorded delete batches; 0 = unwindowed. Per-graph \"window\" on create overrides")
 	flag.StringVar(&cfg.follow, "follow", "", "run as a read-only follower of the leader at this base URL (e.g. http://leader:8080): graphs ship over from its checkpoints and WAL stream; local writes are rejected")
 	flag.DurationVar(&cfg.followEvery, "follow-interval", 200*time.Millisecond, "how often a follower polls the leader's WAL stream (bounds read staleness)")
 	flag.Parse()
@@ -107,12 +113,19 @@ func setup(cfg config) (*server.Server, error) {
 	if cfg.follow != "" && cfg.preload != "" {
 		return nil, fmt.Errorf("-preload is a write and a follower is read-only: drop -preload or preload on the leader at %s", cfg.follow)
 	}
+	if cfg.window < 0 {
+		return nil, fmt.Errorf("-window must be non-negative, got %v", cfg.window)
+	}
+	if cfg.window > 0 && cfg.window < cfg.flushEvery {
+		return nil, fmt.Errorf("-window %v is shorter than -flush-interval %v: edges would expire before the drain that admitted them", cfg.window, cfg.flushEvery)
+	}
 	regOpts := []server.RegistryOption{
 		server.WithBuildWorkers(cfg.buildWorkers),
 		server.WithWriteQueue(cfg.writeQueue),
 		server.WithFlushInterval(cfg.flushEvery),
 		server.WithCompactPolicy(cfg.compactDepth, cfg.compactDirty),
 		server.WithRelabeling(cfg.relabel),
+		server.WithWindow(cfg.window),
 	}
 	if cfg.dataDir != "" {
 		regOpts = append(regOpts,

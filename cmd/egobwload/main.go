@@ -9,10 +9,18 @@
 //	egobwload -read http://localhost:8080 -graph demo -rate 500 -duration 10s
 //	egobwload -read http://follower:8081 -write http://leader:8080 \
 //	    -graph demo -rate 1000 -write-frac 0.1 -batch 16 -duration 30s
+//	egobwload -graph demo -rate 800 -write-frac 0.5 -delete-frac 0.25 \
+//	    -stamp-skew-ms 30000 -duration 30s
+//	                             # windowed churn mix: delete batches aimed at
+//	                             # recent inserts, inserts back-stamped up to
+//	                             # 30s so part of the stream expires early
 //	egobwload ... -json          # machine-readable summary on stdout
 //
 // With -write pointing at a leader and -read at a follower the summary also
 // reports the replication lag observed on the read target during the run.
+// On a windowed graph the summary adds drain accounting — group commits vs
+// synthesized expiry batches and edges expired — taken from the write
+// target's GraphInfo counters over the run.
 package main
 
 import (
@@ -40,6 +48,8 @@ func main() {
 	flag.StringVar(&cfg.Graph, "graph", "", "graph name (required)")
 	flag.Float64Var(&cfg.Rate, "rate", 100, "offered arrivals per second, reads and writes combined")
 	flag.Float64Var(&cfg.WriteFrac, "write-frac", 0, "fraction of arrivals that are edge writes, in [0,1]")
+	flag.Float64Var(&cfg.DeleteFrac, "delete-frac", 0, "fraction of writes sent as delete batches targeting recently inserted edges, in [0,1]")
+	flag.Int64Var(&cfg.StampSkewMS, "stamp-skew-ms", 0, "back-date inserted edges' timestamps by up to this many ms (windowed graphs only: skewed inserts expire early and provoke churn)")
 	flag.DurationVar(&cfg.Duration, "duration", 10*time.Second, "how long to offer load")
 	flag.IntVar(&cfg.K, "k", 0, "top-k size for reads (0 = server default)")
 	flag.StringVar(&cfg.Algo, "algo", "", "topk algo parameter (0 = server default)")
@@ -78,6 +88,11 @@ func run(cfg load.Config, timeout time.Duration, asJSON bool) error {
 		res.Duration.Round(time.Millisecond), res.Offered, res.Achieved, res.Dropped)
 	printClass("reads", res.Reads)
 	printClass("writes", res.Writes)
+	printClass("deletes", res.Deletes)
+	if res.GroupCommits > 0 {
+		fmt.Printf("drains     %d commits  %d expiry batches  %d edges expired\n",
+			res.GroupCommits, res.ExpiryBatches, res.ExpiredEdges)
+	}
 	if res.LagSeqMax > 0 || res.LagMSMax > 0 {
 		fmt.Printf("replica lag  max %d batches / %.1f ms  last %d batches\n",
 			res.LagSeqMax, res.LagMSMax, res.LagSeqLast)

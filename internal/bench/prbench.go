@@ -128,6 +128,26 @@ type PRBenchEntry struct {
 	FollowerReadRPS     float64 `json:"follower_read_rps"`
 	ReplicaLagSeqSteady uint64  `json:"replica_lag_seq_steady"`
 	ReplicaLagMSSteady  float64 `json:"replica_lag_ms_steady"`
+
+	// Temporal sliding-window serving (PR 9): the retention tax. The drain
+	// rows time one durable-ack probe drain while the synthesized expiry
+	// batch it carries covers 0/16/256/2048 back-stamped edges — b0 is the
+	// no-expiry baseline (fsync + single-edge apply + publish), and the
+	// cost above it must track the expired count, not the graph, which is
+	// what the ring-bucketed timestamp sidecar buys (O(expired) per drain,
+	// DESIGN.md §14). expiry_per_edge_ns is (b2048 − b0)/2048. The read
+	// rows are HTTP top-k percentiles against a 2s-window graph under
+	// open-loop churn (skewed inserts + deletes of recent inserts), with
+	// the expiry churn the run provoked recorded alongside.
+	ExpiryDrainB0Ns       int64   `json:"expiry_drain_b0_ns"`
+	ExpiryDrainB16Ns      int64   `json:"expiry_drain_b16_ns"`
+	ExpiryDrainB256Ns     int64   `json:"expiry_drain_b256_ns"`
+	ExpiryDrainB2048Ns    int64   `json:"expiry_drain_b2048_ns"`
+	ExpiryPerEdgeNs       float64 `json:"expiry_per_edge_ns"`
+	WindowedReadP50Ns     int64   `json:"windowed_read_p50_ns"`
+	WindowedReadP99Ns     int64   `json:"windowed_read_p99_ns"`
+	WindowedExpiryBatches int64   `json:"windowed_expiry_batches"`
+	WindowedExpiredEdges  int64   `json:"windowed_expired_edges"`
 }
 
 // PRBench is the bench-regression document (currently BENCH_PR5.json).
@@ -209,6 +229,7 @@ func RunPRBench(names []string) PRBench {
 		measurePublish(&e, g)
 		measureReadPath(&e, g)
 		measureShip(&e, g)
+		measureWindow(&e, g)
 
 		doc.Datasets = append(doc.Datasets, e)
 	}

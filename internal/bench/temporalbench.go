@@ -1,0 +1,149 @@
+package bench
+
+// The PR 9 temporal-serving measurement: what a sliding window costs at the
+// drain and at the read path. The drain rows time one durable-ack write
+// drain while the expiry batch it synthesizes covers 0/16/256/2048 edges —
+// with the ring-bucketed timestamp sidecar the cost above the b0 baseline
+// must track the expired count, not the graph (DESIGN.md §14). The read
+// rows are HTTP top-k percentiles against a windowed graph under open-loop
+// churn: back-stamped inserts expiring within the window plus delete
+// batches, the steady state a "trending edges" deployment serves in.
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/load"
+	"repro/internal/server"
+)
+
+// expiryWindow is the drain measurement's window: long enough (1h) that the
+// idle ticker (window/4 capped at 1s) rarely steals the synthesized batch
+// from the timed drain — and every sample is verified against the expiry
+// counters anyway.
+const expiryWindow = time.Hour
+
+// measureWindow runs the temporal-serving benchmark for dataset graph g.
+func measureWindow(e *PRBenchEntry, g *graph.Graph) {
+	e.ExpiryDrainB0Ns = expiryDrain(g, 0)
+	e.ExpiryDrainB16Ns = expiryDrain(g, 16)
+	e.ExpiryDrainB256Ns = expiryDrain(g, 256)
+	e.ExpiryDrainB2048Ns = expiryDrain(g, 2048)
+	if d := e.ExpiryDrainB2048Ns - e.ExpiryDrainB0Ns; d > 0 {
+		e.ExpiryPerEdgeNs = float64(d) / 2048
+	}
+	measureWindowedRead(e, g)
+}
+
+// expiryDrain times one probe write drain on a durable windowed registry
+// while a cohort of `size` back-stamped edges crosses the window, and
+// returns the median of verified samples. Each round re-inserts the cohort
+// with stamps already past the cutoff, so the very next drain — the timed
+// probe — synthesizes, WALs, and applies the whole expiry batch; rounds
+// where the idle ticker stole the batch (the expiry counters say so) are
+// discarded and retried.
+func expiryDrain(g *graph.Graph, size int) int64 {
+	dir, err := os.MkdirTemp("", "egobw-prbench-window-*")
+	must(err)
+	defer os.RemoveAll(dir)
+
+	var clk atomic.Int64
+	clk.Store(1_000_000)
+	reg := server.NewRegistry(
+		server.WithDataDir(dir), server.WithBuildWorkers(4),
+		// No checkpoints mid-measurement: a checkpoint inside a timed drain
+		// would bill a full snapshot encode to the expiry row.
+		server.WithCheckpointPolicy(1<<30, 1<<62),
+		server.WithClock(clk.Load))
+	defer reg.Close()
+	const name = "w"
+	if _, err := reg.AddWindowed(name, g, server.ModeLocal, 10, expiryWindow); err != nil {
+		panic(err)
+	}
+
+	picked := pickEdges(g, size+1, 0x7E4)
+	if len(picked) < size+1 {
+		return 0 // dataset smaller than the cohort tier: leave the row zero
+	}
+	cohort, probe := picked[:size], picked[size]
+	if size > 0 {
+		// The cohort leaves the graph once up front; every round re-inserts
+		// it back-stamped and lets the timed drain expire it again.
+		if _, err := reg.ApplyEdges(name, cohort, false); err != nil {
+			panic(err)
+		}
+	}
+
+	var samples []int64
+	probeInsert := false // the probe edge exists; start by deleting it
+	for attempt := 0; len(samples) < 5 && attempt < 12; attempt++ {
+		if size > 0 {
+			stamps := make([]int64, size)
+			stamp := clk.Load() - int64(expiryWindow/time.Millisecond) - 1
+			for i := range stamps {
+				stamps[i] = stamp
+			}
+			if _, err := reg.ApplyEdgesStamped(name, cohort, stamps, true, server.AckDurable); err != nil {
+				panic(err)
+			}
+		}
+		before, err := reg.Info(name)
+		must(err)
+		t0 := time.Now()
+		if _, err := reg.ApplyEdges(name, [][2]int32{probe}, probeInsert); err != nil {
+			panic(err)
+		}
+		dt := time.Since(t0)
+		probeInsert = !probeInsert
+		after, err := reg.Info(name)
+		must(err)
+		if after.ExpiredEdges-before.ExpiredEdges == int64(size) {
+			samples = append(samples, int64(dt))
+		}
+	}
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)/2]
+}
+
+// measureWindowedRead serves dataset graph g with a real-clock 2s window
+// over HTTP and offers the open-loop churn mix: 30% writes, a quarter of
+// them deletes of recent inserts, the rest back-stamped up to 1.5s so much
+// of the stream expires during the run. The read rows are what a windowed
+// top-k costs while retention churns underneath it.
+func measureWindowedRead(e *PRBenchEntry, g *graph.Graph) {
+	srv := server.New(server.WithRegistryOptions(server.WithBuildWorkers(4)))
+	defer srv.Registry().Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	name := e.Dataset
+	if _, err := srv.Registry().AddWindowed(name, g, server.ModeLocal, 10, 2*time.Second); err != nil {
+		panic(err)
+	}
+	res, err := load.Run(context.Background(), load.Config{
+		ReadURL:     ts.URL,
+		Graph:       name,
+		Rate:        1500,
+		WriteFrac:   0.3,
+		DeleteFrac:  0.25,
+		StampSkewMS: 1500,
+		Batch:       4,
+		Duration:    1200 * time.Millisecond,
+		K:           100,
+		Algo:        "scores",
+		Seed:        9,
+	})
+	must(err)
+	e.WindowedReadP50Ns = int64(res.Reads.P50)
+	e.WindowedReadP99Ns = int64(res.Reads.P99)
+	e.WindowedExpiryBatches = res.ExpiryBatches
+	e.WindowedExpiredEdges = res.ExpiredEdges
+}

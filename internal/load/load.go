@@ -35,6 +35,19 @@ type Config struct {
 	Seed      int64         // rng seed for arrival classification and edges
 	Client    *http.Client  // nil = a client with a 30s timeout
 
+	// DeleteFrac is the fraction of writes (not of all arrivals) sent as
+	// delete batches, in [0,1]. Deletes target edges this run recently
+	// inserted, so most of them hit; the leftovers are no-ops the server
+	// reports per edge without failing the batch.
+	DeleteFrac float64
+
+	// StampSkewMS back-dates each inserted edge's timestamp by a uniform
+	// draw in [0, StampSkewMS] — on a windowed graph that makes part of the
+	// stream expire early, which is how the harness provokes steady expiry
+	// churn. Requires a windowed graph (the server rejects stamps
+	// otherwise); 0 sends unstamped inserts that work everywhere.
+	StampSkewMS int64
+
 	// MaxOutstanding bounds in-flight requests (0 = 1024). An open-loop
 	// arrival that finds the window full is dropped and counted rather than
 	// queued — blocking the scheduler would turn the harness closed-loop.
@@ -59,7 +72,17 @@ type Result struct {
 	Achieved float64       `json:"achieved_rps"` // completed (reads+writes) / duration
 	Dropped  int           `json:"dropped"`      // arrivals skipped at the outstanding cap
 	Reads    Metrics       `json:"reads"`
-	Writes   Metrics       `json:"writes"`
+	Writes   Metrics       `json:"writes"`  // insert batches
+	Deletes  Metrics       `json:"deletes"` // delete batches (DeleteFrac > 0)
+
+	// Write-target drain accounting over the run (GraphInfo counter deltas):
+	// GroupCommits is every writer drain that committed something; on a
+	// windowed graph ExpiryBatches of those carried a synthesized expiry
+	// batch covering ExpiredEdges edges — the apply-vs-expiry split that
+	// tells whether retention kept up with the offered churn.
+	GroupCommits  int64 `json:"group_commits,omitempty"`
+	ExpiryBatches int64 `json:"expiry_batches,omitempty"`
+	ExpiredEdges  int64 `json:"expired_edges,omitempty"`
 
 	// Replication lag observed on the read target while the run was live;
 	// all zero when the read target is not a replica.
@@ -123,8 +146,50 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 // graphInfo is the slice of the server's GraphInfo the harness needs.
 type graphInfo struct {
 	N             int32   `json:"n"`
+	Window        string  `json:"window"`
+	GroupCommits  int64   `json:"group_commits"`
+	ExpiryBatches int64   `json:"expiry_batches"`
+	ExpiredEdges  int64   `json:"expired_edges"`
 	ReplicaLagSeq uint64  `json:"replica_lag_seq"`
 	ReplicaLagMS  float64 `json:"replica_lag_ms"`
+}
+
+// edgeLog remembers recently inserted edges so delete batches can aim at
+// edges that actually exist; a bounded ring, sampled without removal (a
+// double delete is a per-edge no-op on the server).
+type edgeLog struct {
+	mu   sync.Mutex
+	ring [][2]int32
+	next int
+}
+
+const edgeLogCap = 4096
+
+func (l *edgeLog) add(edges [][2]int32) {
+	l.mu.Lock()
+	for _, e := range edges {
+		if len(l.ring) < edgeLogCap {
+			l.ring = append(l.ring, e)
+		} else {
+			l.ring[l.next] = e
+			l.next = (l.next + 1) % edgeLogCap
+		}
+	}
+	l.mu.Unlock()
+}
+
+// sample fills out with logged edges; returns false while the log is empty
+// (the caller inserts instead — nothing to delete yet).
+func (l *edgeLog) sample(rng *rand.Rand, out [][2]int32) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.ring) == 0 {
+		return false
+	}
+	for i := range out {
+		out[i] = l.ring[rng.Intn(len(l.ring))]
+	}
+	return true
 }
 
 // Run offers cfg.Rate arrivals per second for cfg.Duration and reports what
@@ -136,6 +201,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	if cfg.WriteFrac < 0 || cfg.WriteFrac > 1 {
 		return nil, fmt.Errorf("load: write fraction %v outside [0,1]", cfg.WriteFrac)
+	}
+	if cfg.DeleteFrac < 0 || cfg.DeleteFrac > 1 {
+		return nil, fmt.Errorf("load: delete fraction %v outside [0,1]", cfg.DeleteFrac)
+	}
+	if cfg.StampSkewMS < 0 {
+		return nil, fmt.Errorf("load: stamp skew %dms must be non-negative", cfg.StampSkewMS)
 	}
 	if cfg.Duration <= 0 {
 		return nil, fmt.Errorf("load: duration %v must be positive", cfg.Duration)
@@ -161,13 +232,17 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("load: read target: %w", err)
 	}
+	writeInfo := info
 	if cfg.WriteFrac > 0 && cfg.WriteURL != cfg.ReadURL {
-		if _, err := fetchInfo(ctx, hc, cfg.WriteURL, cfg.Graph); err != nil {
+		if writeInfo, err = fetchInfo(ctx, hc, cfg.WriteURL, cfg.Graph); err != nil {
 			return nil, fmt.Errorf("load: write target: %w", err)
 		}
 	}
 	if info.N < 2 && cfg.WriteFrac > 0 {
 		return nil, fmt.Errorf("load: graph %q has %d vertices; need ≥2 to generate edges", cfg.Graph, info.N)
+	}
+	if cfg.StampSkewMS > 0 && writeInfo.Window == "" {
+		return nil, fmt.Errorf("load: graph %q is not windowed; stamp skew needs a window to expire into", cfg.Graph)
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -178,7 +253,8 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	writeURL := fmt.Sprintf("%s/graphs/%s/edges", cfg.WriteURL, cfg.Graph)
 
 	res := &Result{Offered: cfg.Rate}
-	var reads, writes sink
+	var reads, writes, deletes sink
+	var inserted edgeLog
 	var wg sync.WaitGroup
 	slots := make(chan struct{}, cfg.MaxOutstanding)
 
@@ -224,16 +300,33 @@ sched:
 		case <-timer.C:
 		}
 		isWrite := cfg.WriteFrac > 0 && rng.Float64() < cfg.WriteFrac
-		var edges [][2]int32
+		var (
+			edges    [][2]int32
+			stamps   []int64
+			isDelete bool
+		)
 		if isWrite {
 			edges = make([][2]int32, cfg.Batch)
-			for i := range edges {
-				u := rng.Int31n(info.N)
-				v := rng.Int31n(info.N - 1)
-				if v >= u {
-					v++
+			if cfg.DeleteFrac > 0 && rng.Float64() < cfg.DeleteFrac {
+				isDelete = inserted.sample(rng, edges)
+			}
+			if !isDelete {
+				for i := range edges {
+					u := rng.Int31n(info.N)
+					v := rng.Int31n(info.N - 1)
+					if v >= u {
+						v++
+					}
+					edges[i] = [2]int32{u, v}
 				}
-				edges[i] = [2]int32{u, v}
+				if cfg.StampSkewMS > 0 {
+					now := time.Now().UnixMilli()
+					stamps = make([]int64, len(edges))
+					for i := range stamps {
+						stamps[i] = now - rng.Int63n(cfg.StampSkewMS+1)
+					}
+				}
+				inserted.add(edges)
 			}
 		}
 		select {
@@ -245,9 +338,12 @@ sched:
 		wg.Add(1)
 		go func() {
 			defer func() { <-slots; wg.Done() }()
-			if isWrite {
-				doWrite(ctx, hc, writeURL, edges, &writes)
-			} else {
+			switch {
+			case isDelete:
+				doWrite(ctx, hc, http.MethodDelete, writeURL, edges, nil, &deletes)
+			case isWrite:
+				doWrite(ctx, hc, http.MethodPost, writeURL, edges, stamps, &writes)
+			default:
 				doRead(ctx, hc, readURL, &reads)
 			}
 		}()
@@ -259,8 +355,18 @@ sched:
 	res.Duration = time.Since(start)
 	res.Reads = reads.metrics()
 	res.Writes = writes.metrics()
+	res.Deletes = deletes.metrics()
 	if res.Duration > 0 {
-		res.Achieved = float64(res.Reads.Count+res.Writes.Count) / res.Duration.Seconds()
+		res.Achieved = float64(res.Reads.Count+res.Writes.Count+res.Deletes.Count) / res.Duration.Seconds()
+	}
+	// Drain accounting: how many writer drains the run provoked on the write
+	// target, and how many of them carried expiry work.
+	if cfg.WriteFrac > 0 {
+		if after, err := fetchInfo(ctx, hc, cfg.WriteURL, cfg.Graph); err == nil {
+			res.GroupCommits = after.GroupCommits - writeInfo.GroupCommits
+			res.ExpiryBatches = after.ExpiryBatches - writeInfo.ExpiryBatches
+			res.ExpiredEdges = after.ExpiredEdges - writeInfo.ExpiredEdges
+		}
 	}
 	return res, nil
 }
@@ -307,13 +413,17 @@ func doRead(ctx context.Context, hc *http.Client, url string, s *sink) {
 	s.ok(time.Since(t0))
 }
 
-func doWrite(ctx context.Context, hc *http.Client, url string, edges [][2]int32, s *sink) {
-	body, err := json.Marshal(map[string][][2]int32{"edges": edges})
+func doWrite(ctx context.Context, hc *http.Client, method, url string, edges [][2]int32, stamps []int64, s *sink) {
+	payload := map[string]any{"edges": edges}
+	if stamps != nil {
+		payload["stamps"] = stamps
+	}
+	body, err := json.Marshal(payload)
 	if err != nil {
 		s.fail(false)
 		return
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
 	if err != nil {
 		s.fail(false)
 		return

@@ -108,6 +108,73 @@ func TestRunSeparateWriteTarget(t *testing.T) {
 	}
 }
 
+// TestRunWindowedChurn drives a windowed graph with a full write mix —
+// back-stamped inserts that expire early plus delete batches aimed at
+// recently inserted edges — and checks the drain accounting the summary
+// reports: drains happened, expiry batches rode them, and the deletes class
+// completed cleanly.
+func TestRunWindowedChurn(t *testing.T) {
+	srv := server.New()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	body, _ := json.Marshal(map[string]any{
+		"name":      "demo",
+		"window":    "250ms",
+		"generator": map[string]any{"model": "ba", "n": 500, "mper": 3, "seed": 7},
+	})
+	resp, err := http.Post(ts.URL+"/graphs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("load graph: status %d", resp.StatusCode)
+	}
+	res, err := Run(context.Background(), Config{
+		ReadURL:     ts.URL,
+		Graph:       "demo",
+		Rate:        400,
+		WriteFrac:   0.6,
+		DeleteFrac:  0.3,
+		StampSkewMS: 200, // near the 250ms window: a good share expires fast
+		Batch:       4,
+		Duration:    600 * time.Millisecond,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Writes.Count == 0 || res.Deletes.Count == 0 {
+		t.Fatalf("want inserts and deletes, got writes=%d deletes=%d", res.Writes.Count, res.Deletes.Count)
+	}
+	if res.Writes.Errors != 0 || res.Deletes.Errors != 0 {
+		t.Fatalf("errors: writes=%d deletes=%d", res.Writes.Errors, res.Deletes.Errors)
+	}
+	if res.GroupCommits <= 0 {
+		t.Fatalf("no drains counted: %+v", res)
+	}
+	if res.ExpiryBatches == 0 || res.ExpiredEdges == 0 {
+		t.Fatalf("no expiry churn observed: batches=%d edges=%d", res.ExpiryBatches, res.ExpiredEdges)
+	}
+}
+
+// Stamp skew against an unwindowed graph must fail at startup, not as a
+// stream of per-request 400s.
+func TestRunStampSkewNeedsWindow(t *testing.T) {
+	ts := newTarget(t)
+	_, err := Run(context.Background(), Config{
+		ReadURL:     ts.URL,
+		Graph:       "demo",
+		Rate:        10,
+		WriteFrac:   0.5,
+		StampSkewMS: 100,
+		Duration:    time.Second,
+	})
+	if err == nil {
+		t.Fatal("want startup error for stamp skew on an unwindowed graph")
+	}
+}
+
 func TestRunUnknownGraphFailsFast(t *testing.T) {
 	ts := newTarget(t)
 	_, err := Run(context.Background(), Config{
@@ -126,6 +193,8 @@ func TestRunConfigValidation(t *testing.T) {
 		{Graph: "g", Rate: 0, Duration: time.Second},
 		{Graph: "g", Rate: 10, Duration: 0},
 		{Graph: "g", Rate: 10, Duration: time.Second, WriteFrac: 1.5},
+		{Graph: "g", Rate: 10, Duration: time.Second, DeleteFrac: -0.1},
+		{Graph: "g", Rate: 10, Duration: time.Second, StampSkewMS: -5},
 		{Rate: 10, Duration: time.Second},
 	}
 	for i, cfg := range cases {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/dynamic"
+	"repro/internal/graph"
 	"repro/internal/store"
 )
 
@@ -121,7 +122,19 @@ func (e *entry) maybeCheckpoint(ckptBatches int, ckptBytes int64, batches int) e
 	if rl := e.snap.Load().relab; rl != nil {
 		perm = rl.Perm
 	}
-	if err := e.st.CheckpointSections(g, e.persistMeta(e.st.Seq()), e.maintainerState(), perm); err != nil {
+	// A windowed graph checkpoints its temporal sidecar alongside the CSR,
+	// so recovery keeps expiring from the exact per-edge stamps. A sidecar
+	// that cannot produce a stamp for every graph edge is a divergence bug,
+	// treated like any other checkpoint failure (the pipeline poisons).
+	var ts *store.TemporalState
+	if e.tidx != nil {
+		stamps, err := e.tidx.ExportStamps(g)
+		if err != nil {
+			return err
+		}
+		ts = &store.TemporalState{WindowMS: uint64(e.tidx.WindowMS()), Stamps: stamps}
+	}
+	if err := e.st.CheckpointFull(g, e.persistMeta(e.st.Seq()), e.maintainerState(), perm, ts); err != nil {
 		return err
 	}
 	e.sinceCkpt = 0
@@ -328,11 +341,36 @@ func (r *Registry) restoreEntry(name string, st *store.Store, rec *store.Recover
 		}
 		e.recoverReason += metaReason
 	}
+	// The temporal sidecar of a windowed graph is rebuilt from the
+	// snapshot's stamps section before the tail replay, so replayed stamped
+	// inserts land in it exactly as they did live. A missing or corrupt
+	// section degrades the graph to unwindowed serving — strictly a
+	// retention regression, never a correctness one — and is recorded.
+	var tempReason string
+	switch {
+	case rec.StampsErr != nil:
+		tempReason = fmt.Sprintf("temporal section unusable, serving unwindowed: %v", rec.StampsErr)
+	case rec.Stamps != nil:
+		ti, err := graph.NewTemporalIndexFromStamps(int64(rec.Stamps.WindowMS), rec.Graph, rec.Stamps.Stamps)
+		if err != nil {
+			tempReason = fmt.Sprintf("temporal sidecar rebuild failed, serving unwindowed: %v", err)
+		} else {
+			e.window = time.Duration(rec.Stamps.WindowMS) * time.Millisecond
+			e.tidx = ti
+		}
+	}
+	if tempReason != "" {
+		if e.recoverReason != "" {
+			e.recoverReason += "; "
+		}
+		e.recoverReason += tempReason
+	}
 	lastSeq := rec.Meta.Seq
 	for _, b := range rec.Tail {
-		e.applyLocked(b.Edges, b.Insert)
+		e.applyLocked(b.Edges, b.Stamps, b.Insert)
 		lastSeq = b.Seq
 	}
+	e.refreshTemporalLocked()
 	// The epoch restarts at wal-seq+1, so it keeps advancing with the
 	// batch sequence across restarts instead of snapping back to 1. The
 	// recovered view is a fully compacted CSR: replay dirtied state that no

@@ -184,6 +184,10 @@ var ErrReadOnly = fmt.Errorf("read-only replica")
 type writeReq struct {
 	edges  [][2]int32
 	insert bool
+	// stamps carries one admission timestamp per edge (unix ms) on a
+	// windowed graph's insert batches — client-provided or assigned at
+	// admission — and rides the WAL record so every replay sees them.
+	stamps []int64
 	done   chan writeReply
 
 	// res is filled by the writer inside the commit; carried here so the
@@ -299,6 +303,25 @@ type entry struct {
 	snapSeq  atomic.Uint64
 	ckpts    atomic.Int64
 
+	// Sliding-window serving (DESIGN.md §14). window > 0 makes the entry
+	// temporal: inserts are stamped at admission (client stamp or receive
+	// time), tidx keeps the edge→stamp sidecar, and every leader drain first
+	// synthesizes a delete batch of the edges older than now−window, WAL'd
+	// ahead of the group so durability, recovery, and replicas all see
+	// expiry as ordinary replayed history. window and nowMS are set before
+	// the entry is published and immutable after; tidx is guarded by mu.
+	window time.Duration
+	tidx   *graph.TemporalIndex
+	nowMS  func() int64
+
+	// Expiry accounting: edges expired and expiry batches synthesized by
+	// this process, and the smallest live stamp (0 = no stamped edges) —
+	// refreshed after every drain so GraphInfo derives the oldest edge's
+	// age lock-free.
+	expiredEdges  atomic.Int64
+	expiryBatches atomic.Int64
+	oldestStamp   atomic.Int64
+
 	// Replication state (DESIGN.md §13). replica marks an entry driven by
 	// WAL shipping instead of client writes (set once before publication).
 	// replSeq is the last shipped batch sequence applied locally (the
@@ -377,6 +400,13 @@ type Registry struct {
 	// registry a read-only follower: client mutations are rejected with
 	// ErrReadOnly, and graphs arrive through the Target methods instead.
 	leader string
+
+	// Sliding-window serving (DESIGN.md §14): the default window applied to
+	// graphs created without an explicit one (0 = unwindowed), and the
+	// clock that stamps admissions and drives expiry cutoffs — wall clock
+	// in production, injectable for deterministic tests.
+	window time.Duration
+	nowMS  func() int64
 }
 
 // RegistryOption configures a Registry.
@@ -490,6 +520,31 @@ func WithLeader(url string) RegistryOption {
 	return func(r *Registry) { r.leader = url }
 }
 
+// WithWindow sets the default sliding window applied to graphs created
+// without an explicit one: edges older than window are expired by the
+// graph's writer goroutine through WAL-recorded delete batches (DESIGN.md
+// §14). Zero (the default) serves graphs unwindowed. A per-graph window on
+// create overrides this default.
+func WithWindow(d time.Duration) RegistryOption {
+	return func(r *Registry) {
+		if d > 0 {
+			r.window = d
+		}
+	}
+}
+
+// WithClock replaces the wall clock that stamps admitted edges and drives
+// expiry cutoffs with now (a unix-milliseconds function). It exists so
+// tests can advance time deterministically; production uses the default
+// wall clock.
+func WithClock(now func() int64) RegistryOption {
+	return func(r *Registry) {
+		if now != nil {
+			r.nowMS = now
+		}
+	}
+}
+
 // WithCrashHook installs a crash-injection hook on every graph store,
 // invoked at each durability point with the graph name; a non-nil return
 // aborts the operation exactly there, leaving the files as a real crash
@@ -524,6 +579,9 @@ func NewRegistry(opts ...RegistryOption) *Registry {
 	if r.compactDirty <= 0 {
 		r.compactDirty = defaultCompactDirty
 	}
+	if r.nowMS == nil {
+		r.nowMS = func() int64 { return time.Now().UnixMilli() }
+	}
 	return r
 }
 
@@ -539,6 +597,7 @@ func (r *Registry) newEntry(name, mode string) *entry {
 		stopped:    make(chan struct{}),
 		flush:      r.flush,
 		maxGroup:   r.maxGroup,
+		nowMS:      r.nowMS,
 	}
 }
 
@@ -585,9 +644,31 @@ func (r *Registry) Len() int {
 }
 
 // Add registers g under name with the given maintenance mode (lazyK applies
-// to ModeLazy). Building the maintainer computes all initial scores, which
-// for ModeLocal also populates the first snapshot's score vector.
+// to ModeLazy), using the registry's default sliding window (usually none).
+// Building the maintainer computes all initial scores, which for ModeLocal
+// also populates the first snapshot's score vector.
 func (r *Registry) Add(name string, g *graph.Graph, mode string, lazyK int) (GraphInfo, error) {
+	return r.AddWindowed(name, g, mode, lazyK, r.window)
+}
+
+// AddWindowed is Add with an explicit sliding window: window > 0 makes the
+// graph temporal — every initial edge is stamped with the creation time,
+// admitted inserts are stamped on arrival, and the writer goroutine expires
+// edges older than now−window through WAL-recorded delete batches (DESIGN.md
+// §14). window == 0 serves the graph unwindowed regardless of the registry
+// default. A window must be at least the group-commit flush interval: a
+// shorter one would expire edges faster than drains occur, so it is rejected
+// up front (the HTTP layer answers 400).
+func (r *Registry) AddWindowed(name string, g *graph.Graph, mode string, lazyK int, window time.Duration) (GraphInfo, error) {
+	if window < 0 {
+		return GraphInfo{}, fmt.Errorf("server: window must be non-negative, got %v", window)
+	}
+	if window > 0 && window < time.Millisecond {
+		return GraphInfo{}, fmt.Errorf("server: window %v is below the 1ms stamp resolution", window)
+	}
+	if window > 0 && window < r.flush {
+		return GraphInfo{}, fmt.Errorf("server: window %v is shorter than the flush interval %v (edges would expire before the drain that admitted them)", window, r.flush)
+	}
 	if name == "" {
 		return GraphInfo{}, fmt.Errorf("server: graph name must be non-empty")
 	}
@@ -611,6 +692,26 @@ func (r *Registry) Add(name string, g *graph.Graph, mode string, lazyK int) (Gra
 	}
 
 	e := r.newEntry(name, mode)
+	var initStamps *store.TemporalState
+	if window > 0 {
+		// Every edge of a windowed graph carries a stamp from birth: the
+		// initial load is stamped with the creation time, and the stamps are
+		// persisted alongside the first snapshot so a crash before the first
+		// checkpoint still recovers a graph that keeps expiring correctly.
+		e.window = window
+		e.tidx = graph.NewTemporalIndex(int64(window / time.Millisecond))
+		now := e.nowMS()
+		g.EachEdge(func(u, v int32) bool {
+			e.tidx.Stamp(u, v, now)
+			return true
+		})
+		stamps, err := e.tidx.ExportStamps(g)
+		if err != nil {
+			return GraphInfo{}, fmt.Errorf("server: graph %q: %w", name, err)
+		}
+		initStamps = &store.TemporalState{WindowMS: uint64(window / time.Millisecond), Stamps: stamps}
+		e.refreshTemporalLocked()
+	}
 	first := &snapshot{epoch: 1, view: g, buildWorkers: e.workers}
 	t0 := time.Now()
 	first.relab = e.makeRelab(g)
@@ -638,8 +739,8 @@ func (r *Registry) Add(name string, g *graph.Graph, mode string, lazyK int) (Gra
 	// directory creation atomic (two racing Adds must not both write the
 	// same directory); the cost is one snapshot write while lookups wait.
 	if r.dataDir != "" {
-		st, err := store.Create(store.GraphDir(r.dataDir, name), g,
-			e.persistMeta(0), r.storeOptions(name)...)
+		st, err := store.CreateWithStamps(store.GraphDir(r.dataDir, name), g,
+			e.persistMeta(0), initStamps, r.storeOptions(name)...)
 		if err != nil {
 			return GraphInfo{}, fmt.Errorf("server: graph %q: %w", name, err)
 		}
@@ -799,6 +900,16 @@ type GraphInfo struct {
 	SnapshotSeq uint64 `json:"snapshot_seq,omitempty"`
 	Checkpoints int64  `json:"checkpoints,omitempty"`
 
+	// Sliding-window accounting (set only on windowed graphs, DESIGN.md
+	// §14): the configured window, how many edges this process expired and
+	// in how many synthesized expiry batches (leader-side; followers apply
+	// the leader's expiry deletes as ordinary replayed deletes), and the age
+	// of the oldest live edge — the retention bound a read here exhibits.
+	Window          string  `json:"window,omitempty"`
+	ExpiredEdges    int64   `json:"expired_edges,omitempty"`
+	ExpiryBatches   int64   `json:"expiry_batches,omitempty"`
+	OldestEdgeAgeMS float64 `json:"oldest_edge_age_ms,omitempty"`
+
 	// Replication accounting (set only on follower-side entries, DESIGN.md
 	// §13): ReplicaLagSeq is how many durable leader batches the local state
 	// has not applied yet as of the last shipping poll, and ReplicaLagMS how
@@ -853,6 +964,16 @@ func (e *entry) infoAt(s *snapshot) GraphInfo {
 		gi.WALBytes = e.walBytes.Load()
 		gi.SnapshotSeq = e.snapSeq.Load()
 		gi.Checkpoints = e.ckpts.Load()
+	}
+	if e.window > 0 {
+		gi.Window = e.window.String()
+		gi.ExpiredEdges = e.expiredEdges.Load()
+		gi.ExpiryBatches = e.expiryBatches.Load()
+		if oldest := e.oldestStamp.Load(); oldest != noOldestStamp {
+			if age := e.nowMS() - oldest; age > 0 {
+				gi.OldestEdgeAgeMS = float64(age)
+			}
+		}
 	}
 	if e.replica {
 		gi.Replica = true
@@ -1128,6 +1249,18 @@ func (r *Registry) ApplyEdges(name string, edges [][2]int32, insert bool) (Updat
 // durable and applied — the returned UpdateResult is valid alongside such
 // an error.
 func (r *Registry) ApplyEdgesAck(name string, edges [][2]int32, insert bool, ack string) (UpdateResult, error) {
+	return r.ApplyEdgesStamped(name, edges, nil, insert, ack)
+}
+
+// ApplyEdgesStamped is ApplyEdgesAck with explicit admission timestamps
+// (unix ms), one per edge. Stamps matter only for insert batches on a
+// sliding-window graph — they decide when each edge expires; there a nil
+// stamps assigns the receive time to the whole batch, and a client-supplied
+// vector must match the edge count. On an unwindowed graph (and on deletes)
+// stamps are meaningless and rejected when present, so a client that thinks
+// it is feeding a temporal graph finds out instead of silently losing its
+// timeline.
+func (r *Registry) ApplyEdgesStamped(name string, edges [][2]int32, stamps []int64, insert bool, ack string) (UpdateResult, error) {
 	e, err := r.get(name)
 	if err != nil {
 		return UpdateResult{}, err
@@ -1144,7 +1277,27 @@ func (r *Registry) ApplyEdgesAck(name string, edges [][2]int32, insert bool, ack
 	if ack != AckDurable && ack != AckAsync {
 		return UpdateResult{}, fmt.Errorf("server: unknown ack mode %q (want %q or %q)", ack, AckDurable, AckAsync)
 	}
-	req := &writeReq{edges: edges, insert: insert}
+	if stamps != nil {
+		switch {
+		case e.window == 0:
+			return UpdateResult{}, fmt.Errorf("server: graph %q is not windowed: timestamps are not accepted", name)
+		case !insert:
+			return UpdateResult{}, fmt.Errorf("server: timestamps apply to insert batches only")
+		case len(stamps) != len(edges):
+			return UpdateResult{}, fmt.Errorf("server: %d timestamps for %d edges", len(stamps), len(edges))
+		}
+	}
+	if e.window > 0 && insert && stamps == nil {
+		// Absent stamps mean "now": the leader's receive time, assigned at
+		// admission so it rides the WAL record and every replay — recovery,
+		// replicas — sees the identical timeline.
+		now := e.nowMS()
+		stamps = make([]int64, len(edges))
+		for i := range stamps {
+			stamps[i] = now
+		}
+	}
+	req := &writeReq{edges: edges, stamps: stamps, insert: insert}
 	if ack == AckDurable {
 		req.done = make(chan writeReply, 1)
 	}
@@ -1167,8 +1320,42 @@ func (r *Registry) ApplyEdgesAck(name string, edges [][2]int32, insert bool, ack
 // drained it.
 func (e *entry) writerLoop(r *Registry) {
 	defer close(e.stopped)
+	if e.window > 0 && !e.replica && r.leader == "" {
+		e.windowedWriterLoop(r)
+		return
+	}
 	for req := range e.queue {
 		e.commitGroup(r, e.collectGroup(req))
+	}
+}
+
+// windowedWriterLoop adds idle expiry to the plain drain loop: a ticker
+// wakes the writer often enough that edges crossing the window boundary
+// expire promptly even when no client writes arrive. A tick runs an
+// expiry-only drain (commitGroup with an empty group); one that finds
+// nothing past the cutoff commits nothing and costs nothing durable.
+// Followers never take this path — their expiry arrives as the leader's
+// replayed delete batches, keeping both sides bitwise-equal at every seq.
+func (e *entry) windowedWriterLoop(r *Registry) {
+	tick := e.window / 4
+	if tick > time.Second {
+		tick = time.Second
+	}
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case req, ok := <-e.queue:
+			if !ok {
+				return
+			}
+			e.commitGroup(r, e.collectGroup(req))
+		case <-ticker.C:
+			e.commitGroup(r, nil)
+		}
 	}
 }
 
@@ -1228,7 +1415,12 @@ func (e *entry) collectGroup(first *writeReq) []*writeReq {
 // applied (or never served) must still be recovered — and between the
 // overlay publication and the compaction/checkpoint that would have
 // followed, proving recovery never depends on a compaction having run.
+// crashAfterExpiry kills a windowed drain after the expiry batch was
+// synthesized but before anything reached the WAL: nothing of it is
+// durable, so recovery must come back with the edges still live and
+// re-expire them on the first post-recovery drain.
 const (
+	crashAfterExpiry   = "server-after-expiry"
 	crashBeforeApply   = "server-before-apply"
 	crashBeforePublish = "server-before-publish"
 	crashAfterPublish  = "server-after-publish"
@@ -1242,10 +1434,12 @@ func (r *Registry) serverCrash(name, point string) error {
 	return r.crashHook(name, point)
 }
 
-// commitGroup is one drain of the write pipeline: one WAL append covering
-// every batch in the group (one fsync), the deterministic per-batch apply
-// in admission order, one snapshot publication, one checkpoint-policy
-// check — then the acknowledgments.
+// commitGroup is one drain of the write pipeline: expiry synthesis on a
+// windowed leader, one WAL append covering every batch in the group (one
+// fsync), the deterministic per-batch apply in admission order, one
+// snapshot publication, one checkpoint-policy check — then the
+// acknowledgments. A nil group is an expiry-only drain from the windowed
+// writer's ticker; it commits nothing unless edges actually expired.
 func (e *entry) commitGroup(r *Registry, group []*writeReq) {
 	e.mu.Lock()
 	if perr := e.failed.Load(); perr != nil {
@@ -1257,6 +1451,30 @@ func (e *entry) commitGroup(r *Registry, group []*writeReq) {
 		return
 	}
 
+	// Expiry synthesis (DESIGN.md §14): on a windowed leader every drain
+	// first turns the edges older than now−window into an ordinary delete
+	// batch at the head of the group, so it reaches the WAL before anything
+	// else this drain does — recovery, instant-recovery imports, and
+	// shipped replicas replay expiry as plain history and never need a
+	// clock of their own. ExpireBefore returns the edges in canonical order,
+	// a deterministic function of the live edge set.
+	if e.tidx != nil && !e.replica && r.leader == "" {
+		cutoff := e.nowMS() - int64(e.window/time.Millisecond)
+		if expired := e.tidx.ExpireBefore(cutoff); len(expired) > 0 {
+			group = append([]*writeReq{{edges: expired, insert: false}}, group...)
+			e.expiredEdges.Add(int64(len(expired)))
+			e.expiryBatches.Add(1)
+			if err := r.serverCrash(e.name, crashAfterExpiry); err != nil {
+				e.abortGroup(group, err)
+				return
+			}
+		}
+	}
+	if len(group) == 0 {
+		e.mu.Unlock()
+		return
+	}
+
 	// Group WAL append: per-batch records, one fsync. An error here means
 	// nothing of the group was applied — and the store has poisoned
 	// itself, so poison the pipeline too: admissions (notably ack=async
@@ -1265,7 +1483,7 @@ func (e *entry) commitGroup(r *Registry, group []*writeReq) {
 	if e.st != nil {
 		specs := make([]store.BatchSpec, len(group))
 		for i, req := range group {
-			specs[i] = store.BatchSpec{Insert: req.insert, Edges: req.edges}
+			specs[i] = store.BatchSpec{Insert: req.insert, Edges: req.edges, Stamps: req.stamps}
 		}
 		if _, err := e.st.AppendBatches(specs); err != nil {
 			e.failed.Store(&err)
@@ -1287,9 +1505,10 @@ func (e *entry) commitGroup(r *Registry, group []*writeReq) {
 	// same deterministic path WAL replay takes on recovery.
 	applied := 0
 	for _, req := range group {
-		req.res = e.applyLocked(req.edges, req.insert)
+		req.res = e.applyLocked(req.edges, req.stamps, req.insert)
 		applied += req.res.Applied
 	}
+	e.refreshTemporalLocked()
 
 	// One snapshot publication for the whole group: an O(batch) overlay on
 	// the previous view, never a full CSR export (the compactor owns those).
@@ -1346,11 +1565,13 @@ func (e *entry) abortGroup(group []*writeReq, cause error) {
 }
 
 // applyLocked routes one batch through the graph's maintainer, skipping
-// per-edge failures. It is deliberately deterministic in the graph state and
-// the batch alone — WAL replay calls it with the logged batches to reproduce
-// the live outcome exactly. Callers hold e.mu (or own the entry exclusively,
-// as recovery does before publication).
-func (e *entry) applyLocked(edges [][2]int32, insert bool) UpdateResult {
+// per-edge failures, and keeps the temporal sidecar of a windowed graph in
+// step (stamping applied inserts, forgetting applied deletes). It is
+// deliberately deterministic in the graph state and the batch alone — WAL
+// replay calls it with the logged batches (and their logged stamps) to
+// reproduce the live outcome exactly. Callers hold e.mu (or own the entry
+// exclusively, as recovery does before publication).
+func (e *entry) applyLocked(edges [][2]int32, stamps []int64, insert bool) UpdateResult {
 	res := UpdateResult{Graph: e.name}
 	// Inserts may grow the vertex set to max(u,v)+1, so bound how far one
 	// batch can push it: ids beyond the limit fail per-edge instead of
@@ -1362,7 +1583,7 @@ func (e *entry) applyLocked(edges [][2]int32, insert bool) UpdateResult {
 		curN = e.lazy.Graph().NumVertices()
 	}
 	limit := curN + maxBatchGrowth
-	for _, ed := range edges {
+	for i, ed := range edges {
 		var opErr error
 		if ed[0] >= limit || ed[1] >= limit {
 			res.Errors = append(res.Errors, EdgeError{Edge: ed, Error: fmt.Sprintf(
@@ -1385,6 +1606,17 @@ func (e *entry) applyLocked(edges [][2]int32, insert bool) UpdateResult {
 			continue
 		}
 		res.Applied++
+		if e.tidx != nil {
+			if insert {
+				var ts int64
+				if stamps != nil {
+					ts = stamps[i]
+				}
+				e.tidx.Stamp(ed[0], ed[1], ts)
+			} else {
+				e.tidx.Forget(ed[0], ed[1])
+			}
+		}
 		if insert {
 			e.inserts.Add(1)
 		} else {
@@ -1392,6 +1624,24 @@ func (e *entry) applyLocked(edges [][2]int32, insert bool) UpdateResult {
 		}
 	}
 	return res
+}
+
+// noOldestStamp is the oldestStamp mirror's "no live stamped edges"
+// sentinel — outside any real unix-ms stamp a test clock would use.
+const noOldestStamp = math.MinInt64
+
+// refreshTemporalLocked re-mirrors the oldest live stamp after a drain (or
+// recovery/replica apply) mutated the temporal sidecar, so GraphInfo reads
+// it lock-free. Callers hold e.mu or own the entry exclusively.
+func (e *entry) refreshTemporalLocked() {
+	if e.tidx == nil {
+		return
+	}
+	if oldest, ok := e.tidx.OldestStamp(); ok {
+		e.oldestStamp.Store(oldest)
+	} else {
+		e.oldestStamp.Store(noOldestStamp)
+	}
 }
 
 // dyn returns the maintainer's mutable graph.

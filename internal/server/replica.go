@@ -97,6 +97,7 @@ func decodeRecovered(snapshot []byte) (*store.Recovered, error) {
 	rec := &store.Recovered{Meta: meta, Graph: g}
 	rec.State, rec.StateErr = store.DecodeSnapshotState(snapshot)
 	rec.Perm, rec.PermErr = store.DecodeSnapshotPerm(snapshot)
+	rec.Stamps, rec.StampsErr = store.DecodeSnapshotStamps(snapshot)
 	return rec, nil
 }
 
@@ -160,7 +161,7 @@ func (r *Registry) ApplyReplica(name string, batches []store.Batch) error {
 	if e.st != nil {
 		specs := make([]store.BatchSpec, len(batches))
 		for i, b := range batches {
-			specs[i] = store.BatchSpec{Insert: b.Insert, Edges: b.Edges}
+			specs[i] = store.BatchSpec{Insert: b.Insert, Edges: b.Edges, Stamps: b.Stamps}
 		}
 		first, err := e.st.AppendBatches(specs)
 		if err != nil {
@@ -179,9 +180,14 @@ func (r *Registry) ApplyReplica(name string, batches []store.Batch) error {
 	}
 	applied := 0
 	for _, b := range batches {
-		res := e.applyLocked(b.Edges, b.Insert)
+		// Stamps ride the shipped records verbatim, and the leader's expiry
+		// deletes arrive as ordinary batches in the same stream — the
+		// follower maintains its sidecar without ever consulting a clock, so
+		// both sides hold the identical edge set at every common sequence.
+		res := e.applyLocked(b.Edges, b.Stamps, b.Insert)
 		applied += res.Applied
 	}
+	e.refreshTemporalLocked()
 	e.replSeq.Store(batches[len(batches)-1].Seq)
 	if applied > 0 {
 		e.publishLocked(e.snap.Load().epoch + 1)

@@ -161,6 +161,12 @@ type LoadRequest struct {
 	Dataset   string         `json:"dataset,omitempty"`
 	Mode      string         `json:"mode,omitempty"` // local (default) | lazy
 	K         int            `json:"k,omitempty"`    // lazy mode's maintained k
+
+	// Window makes the graph temporal: a Go duration string ("6h", "90s")
+	// sets the sliding window edges live in before the writer expires them
+	// (DESIGN.md §14); "none" (or "0") forces unwindowed serving even when
+	// the daemon runs with a default -window; absent inherits the default.
+	Window string `json:"window,omitempty"`
 }
 
 // maxLoadVertices bounds the vertex count a single load request may name,
@@ -258,7 +264,20 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	info, err := s.reg.Add(req.Name, g, req.Mode, req.K)
+	var info GraphInfo
+	switch req.Window {
+	case "":
+		info, err = s.reg.Add(req.Name, g, req.Mode, req.K)
+	case "none", "0":
+		info, err = s.reg.AddWindowed(req.Name, g, req.Mode, req.K, 0)
+	default:
+		window, perr := time.ParseDuration(req.Window)
+		if perr != nil || window <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad window %q (want a positive duration like \"6h\", or \"none\")", req.Window))
+			return
+		}
+		info, err = s.reg.AddWindowed(req.Name, g, req.Mode, req.K, window)
+	}
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, ErrDuplicate) {
@@ -361,9 +380,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// EdgeBatch is the body of POST/DELETE /graphs/{name}/edges.
+// EdgeBatch is the body of POST/DELETE /graphs/{name}/edges. On a windowed
+// graph an insert batch may carry timestamps (unix milliseconds): Stamps
+// gives one per edge, Ts stamps the whole batch, and neither defaults to
+// the leader's receive time. Unwindowed graphs and delete batches reject
+// timestamps.
 type EdgeBatch struct {
-	Edges [][2]int32 `json:"edges"`
+	Edges  [][2]int32 `json:"edges"`
+	Ts     int64      `json:"ts,omitempty"`
+	Stamps []int64    `json:"stamps,omitempty"`
 }
 
 func (s *Server) handleEdges(insert bool) http.HandlerFunc {
@@ -374,7 +399,18 @@ func (s *Server) handleEdges(insert bool) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 			return
 		}
-		res, err := s.reg.ApplyEdgesAck(name, batch.Edges, insert, r.URL.Query().Get("ack"))
+		if batch.Ts != 0 && batch.Stamps != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("ts and stamps are mutually exclusive"))
+			return
+		}
+		stamps := batch.Stamps
+		if stamps == nil && batch.Ts != 0 {
+			stamps = make([]int64, len(batch.Edges))
+			for i := range stamps {
+				stamps[i] = batch.Ts
+			}
+		}
+		res, err := s.reg.ApplyEdgesStamped(name, batch.Edges, stamps, insert, r.URL.Query().Get("ack"))
 		if err != nil {
 			// A full admission queue is backpressure, not failure: 429
 			// with a pacing hint. A storage failure is the server's

@@ -231,7 +231,13 @@ func fuzzWALSeeds() [][]byte {
 	torn := valid[:len(valid)-4]
 	flipped := append([]byte(nil), valid...)
 	flipped[walHeaderLen+9] ^= 0x01
-	return [][]byte{valid, torn, flipped, walFileHeader(), walMagic[:]}
+	stamped := walImage(
+		Batch{Seq: 1, Insert: true, Edges: [][2]int32{{0, 1}, {2, 3}}, Stamps: []int64{1000, 2000}},
+		Batch{Seq: 2, Insert: false, Edges: [][2]int32{{0, 1}}},
+	)
+	v1 := append([]byte(nil), valid...)
+	v1[4] = 1 // the pre-temporal header version; records are stampless
+	return [][]byte{valid, torn, flipped, walFileHeader(), walMagic[:], stamped, v1}
 }
 
 func FuzzDecodeWAL(f *testing.F) {
@@ -250,8 +256,11 @@ func FuzzDecodeWAL(f *testing.F) {
 			t.Fatalf("valid prefix %d out of range [%d, %d]", valid, walHeaderLen, len(data))
 		}
 		// The valid prefix must re-encode to exactly its own bytes: the
-		// decode → encode → decode cycle is the torn-tail repair path.
-		img := walFileHeader()
+		// decode → encode → decode cycle is the torn-tail repair path. The
+		// header is carried over verbatim — repair truncates in place and
+		// never rewrites it — so version-1 corpus files keep exercising the
+		// backward-compatible record decode.
+		img := append([]byte(nil), data[:walHeaderLen]...)
 		for _, b := range batches {
 			img = append(img, EncodeBatch(b)...)
 		}

@@ -38,32 +38,9 @@ var permMagic = [4]byte{'E', 'B', 'R', 'L'}
 // EncodeSnapshotSections serializes g, its metadata, and any of the optional
 // trailing sections: maintainer state and the relabel permutation. With
 // neither present it degrades to the bit-identical version-1 format.
+// EncodeSnapshotFull additionally carries the temporal section.
 func EncodeSnapshotSections(g *graph.Graph, meta SnapshotMeta, st *MaintainerState, perm []int32) []byte {
-	if st.empty() && len(perm) == 0 {
-		return EncodeSnapshot(g, meta)
-	}
-	n := int(g.NumVertices())
-	extra := 0
-	if !st.empty() {
-		extra += 7 + stateSectionLen(n, st)
-	}
-	if len(perm) > 0 {
-		extra += 7 + stateHeaderLen + 4*len(perm) + 4
-	}
-	buf := encodeGraphPart(g, meta, SnapshotVersionState, extra)
-	if !st.empty() {
-		for len(buf)%8 != 0 {
-			buf = append(buf, 0)
-		}
-		buf = appendStateSection(buf, uint32(n), st)
-	}
-	if len(perm) > 0 {
-		for len(buf)%8 != 0 {
-			buf = append(buf, 0)
-		}
-		buf = appendPermSection(buf, uint32(n), perm)
-	}
-	return buf
+	return EncodeSnapshotFull(g, meta, st, perm, nil)
 }
 
 // appendPermSection appends the framed relabel-permutation section to buf
@@ -120,6 +97,11 @@ func DecodeSnapshotPerm(data []byte) ([]int32, error) {
 	if uint64(len(sec)) < stateHeaderLen+4 {
 		return nil, fmt.Errorf("store: relabel section truncated (%d trailing bytes)", len(sec))
 	}
+	if [4]byte(sec[0:4]) == stampsMagic {
+		// Sections are ordered state, perm, temporal: a temporal section
+		// here means no permutation was checkpointed.
+		return nil, nil
+	}
 	if [4]byte(sec[0:4]) != permMagic {
 		return nil, fmt.Errorf("store: bad relabel-section magic %q", sec[0:4])
 	}
@@ -139,10 +121,13 @@ func DecodeSnapshotPerm(data []byte) ([]int32, error) {
 	if payloadLen != 4*n {
 		return nil, fmt.Errorf("store: relabel payload is %d bytes, n=%d implies %d", payloadLen, n, 4*n)
 	}
-	if uint64(len(sec)) != stateHeaderLen+payloadLen+4 {
-		return nil, fmt.Errorf("store: relabel section is followed by %d unexpected bytes",
-			uint64(len(sec))-stateHeaderLen-payloadLen-4)
+	if uint64(len(sec)) < stateHeaderLen+payloadLen+4 {
+		return nil, fmt.Errorf("store: relabel section truncated (%d of %d bytes)",
+			len(sec), stateHeaderLen+payloadLen+4)
 	}
+	// The section frames its own length; bytes beyond it belong to the
+	// temporal section and are not examined here.
+	sec = sec[:stateHeaderLen+payloadLen+4]
 	body, crcBytes := sec[:stateHeaderLen+payloadLen], sec[stateHeaderLen+payloadLen:]
 	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(crcBytes); got != want {
 		return nil, fmt.Errorf("store: relabel-section checksum mismatch (file %#x, computed %#x)", want, got)

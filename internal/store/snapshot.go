@@ -196,10 +196,10 @@ func DecodeSnapshot(data []byte) (*graph.Graph, SnapshotMeta, error) {
 // maintainer-state section of the temp file (tearing the section exactly
 // where a real crash could), CrashAfterSnapshotTmp once the temp file is
 // durable, just before the rename; a non-nil return aborts there.
-func writeSnapshotFile(path string, g *graph.Graph, meta SnapshotMeta, st *MaintainerState, perm []int32, hook func(point string) error) error {
-	img := EncodeSnapshotSections(g, meta, st, perm)
+func writeSnapshotFile(path string, g *graph.Graph, meta SnapshotMeta, st *MaintainerState, perm []int32, ts *TemporalState, hook func(point string) error) error {
+	img := EncodeSnapshotFull(g, meta, st, perm, ts)
 	split := len(img)
-	if !st.empty() || len(perm) > 0 {
+	if !st.empty() || len(perm) > 0 || !ts.empty() {
 		// The graph part's length is fully determined by g.
 		offsets, adj := g.CSR()
 		split = snapFixedHeaderLen + len(offsets)*8 + 8 + len(adj)*4 + snapTrailerLen
@@ -243,23 +243,26 @@ func writeSnapshotFile(path string, g *graph.Graph, meta SnapshotMeta, st *Maint
 	return syncDir(filepath.Dir(path))
 }
 
-// readSnapshotFile loads and decodes the snapshot at path: the graph always,
-// the maintainer-state and relabel-permutation sections on a best-effort
-// basis — each is nil either when the snapshot does not carry it (its error
-// is then nil: nothing was expected) or when the section is unusable (the
-// error says why; the graph still serves).
-func readSnapshotFile(path string) (g *graph.Graph, meta SnapshotMeta, state *MaintainerState, stateErr error, perm []int32, permErr error, err error) {
+// readSnapshotFile loads and decodes the snapshot at path into a Recovered
+// (Tail and TornBytes left for the caller): the graph always, the optional
+// sections — maintainer state, relabel permutation, temporal state — on a
+// best-effort basis. Each section is nil either when the snapshot does not
+// carry it (its error is then nil: nothing was expected) or when the section
+// is unusable (the error says why; the graph still serves).
+func readSnapshotFile(path string) (*Recovered, error) {
 	data, err := readFileShared(path)
 	if err != nil {
-		return nil, SnapshotMeta{}, nil, nil, nil, nil, err
+		return nil, err
 	}
-	g, meta, err = DecodeSnapshot(data)
+	g, meta, err := DecodeSnapshot(data)
 	if err != nil {
-		return nil, SnapshotMeta{}, nil, nil, nil, nil, fmt.Errorf("%s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	state, stateErr = DecodeSnapshotState(data)
-	perm, permErr = DecodeSnapshotPerm(data)
-	return g, meta, state, stateErr, perm, permErr, nil
+	rec := &Recovered{Meta: meta, Graph: g}
+	rec.State, rec.StateErr = DecodeSnapshotState(data)
+	rec.Perm, rec.PermErr = DecodeSnapshotPerm(data)
+	rec.Stamps, rec.StampsErr = DecodeSnapshotStamps(data)
+	return rec, nil
 }
 
 // syncDir fsyncs a directory so a just-renamed or just-created entry is

@@ -196,24 +196,27 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 	path := filepath.Join(dir, "s.ebws")
 	g := goldenGraph(t, 2)
 	meta := SnapshotMeta{Mode: 1, LazyK: 7, Seq: 42}
-	if err := writeSnapshotFile(path, g, meta, nil, nil, nil); err != nil {
+	if err := writeSnapshotFile(path, g, meta, nil, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
 		t.Fatal("temp file left behind")
 	}
-	dg, dm, state, stateErr, perm, permErr, err := readSnapshotFile(path)
+	rec, err := readSnapshotFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if state != nil || stateErr != nil {
-		t.Fatalf("version-1 snapshot reports state %v (err %v), want none", state, stateErr)
+	if rec.State != nil || rec.StateErr != nil {
+		t.Fatalf("version-1 snapshot reports state %v (err %v), want none", rec.State, rec.StateErr)
 	}
-	if perm != nil || permErr != nil {
-		t.Fatalf("version-1 snapshot reports perm %v (err %v), want none", perm, permErr)
+	if rec.Perm != nil || rec.PermErr != nil {
+		t.Fatalf("version-1 snapshot reports perm %v (err %v), want none", rec.Perm, rec.PermErr)
 	}
-	if dm != meta {
-		t.Fatalf("meta = %+v, want %+v", dm, meta)
+	if rec.Stamps != nil || rec.StampsErr != nil {
+		t.Fatalf("version-1 snapshot reports stamps %v (err %v), want none", rec.Stamps, rec.StampsErr)
 	}
-	sameGraph(t, dg, g)
+	if rec.Meta != meta {
+		t.Fatalf("meta = %+v, want %+v", rec.Meta, meta)
+	}
+	sameGraph(t, rec.Graph, g)
 }

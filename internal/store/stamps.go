@@ -1,0 +1,190 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/graph"
+)
+
+// Temporal section of a version-2 snapshot. A graph served with a sliding
+// window persists its window length and the admission timestamp of every
+// live edge alongside the CSR, so recovery (and a replica bootstrapping from
+// a shipped checkpoint) resumes expiring exactly where the leader left off —
+// no stamp is ever re-derived from a clock. The section mirrors the
+// maintainer-state frame and is the last section of the file, after the
+// maintainer state and relabel permutation when those are present:
+//
+//	[S+0]  magic      [4]byte "EBTS"
+//	[S+4]  version    uint16 (TemporalVersion)
+//	[S+6]  reserved   uint16 (must be 0)
+//	[S+8]  n          uint32 (must equal the graph part's n)
+//	[S+12] reserved   uint32 (must be 0)
+//	[S+16] payloadLen uint64 = 16 + 8m, then the payload:
+//	         windowMS uint64 (sliding window length, unix milliseconds)
+//	         m        uint64 (must equal the graph part's m)
+//	         stamps   m × int64 unix ms, one per edge in canonical CSR
+//	                  order (ascending u, then ascending v, u < v)
+//	[..]   crc        uint32 (IEEE, over the section from S through payload)
+//
+// Like its sibling sections, the CRC covers only the section: a corrupt
+// temporal section never blocks loading the graph — recovery serves the
+// graph unwindowed and surfaces the decode error instead of inventing
+// stamps.
+const (
+	// TemporalVersion is the temporal-section format version.
+	TemporalVersion = 1
+)
+
+var stampsMagic = [4]byte{'E', 'B', 'T', 'S'}
+
+// TemporalState is the decoded temporal section: the graph's sliding-window
+// length and one admission stamp per edge, in canonical CSR edge order.
+type TemporalState struct {
+	WindowMS uint64
+	Stamps   []int64
+}
+
+// empty reports whether there is nothing to persist: no window configured.
+// A windowed graph with zero edges still encodes (the window length itself
+// must survive recovery).
+func (ts *TemporalState) empty() bool {
+	return ts == nil || ts.WindowMS == 0
+}
+
+// EncodeSnapshotFull serializes g, its metadata, and all optional trailing
+// sections: maintainer state, relabel permutation, and temporal state. With
+// none present it degrades to the bit-identical version-1 format.
+func EncodeSnapshotFull(g *graph.Graph, meta SnapshotMeta, st *MaintainerState, perm []int32, ts *TemporalState) []byte {
+	if st.empty() && len(perm) == 0 && ts.empty() {
+		return EncodeSnapshot(g, meta)
+	}
+	n := int(g.NumVertices())
+	extra := 0
+	if !st.empty() {
+		extra += 7 + stateSectionLen(n, st)
+	}
+	if len(perm) > 0 {
+		extra += 7 + stateHeaderLen + 4*len(perm) + 4
+	}
+	if !ts.empty() {
+		extra += 7 + stateHeaderLen + 16 + 8*len(ts.Stamps) + 4
+	}
+	buf := encodeGraphPart(g, meta, SnapshotVersionState, extra)
+	if !st.empty() {
+		for len(buf)%8 != 0 {
+			buf = append(buf, 0)
+		}
+		buf = appendStateSection(buf, uint32(n), st)
+	}
+	if len(perm) > 0 {
+		for len(buf)%8 != 0 {
+			buf = append(buf, 0)
+		}
+		buf = appendPermSection(buf, uint32(n), perm)
+	}
+	if !ts.empty() {
+		for len(buf)%8 != 0 {
+			buf = append(buf, 0)
+		}
+		buf = appendStampsSection(buf, uint32(n), ts)
+	}
+	return buf
+}
+
+// appendStampsSection appends the framed temporal section to buf (whose
+// length must already be 8-aligned, making the int64 payload mappable).
+func appendStampsSection(buf []byte, n uint32, ts *TemporalState) []byte {
+	start := len(buf)
+	buf = append(buf, stampsMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, TemporalVersion)
+	buf = append(buf, 0, 0)
+	buf = binary.LittleEndian.AppendUint32(buf, n)
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(16+8*len(ts.Stamps)))
+	buf = binary.LittleEndian.AppendUint64(buf, ts.WindowMS)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(ts.Stamps)))
+	buf = appendWords(buf, ts.Stamps)
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
+}
+
+// DecodeSnapshotStamps extracts the temporal section of a snapshot image, or
+// (nil, nil) when the snapshot carries none (every version-1 file, and
+// version-2 files checkpointed without a window). An error means the section
+// is present but unusable — the caller serves the graph unwindowed and
+// reports it, rather than expiring on fabricated stamps. The returned stamp
+// slice aliases data zero-copy on little-endian hosts; the caller must not
+// modify data afterwards.
+func DecodeSnapshotStamps(data []byte) (*TemporalState, error) {
+	version, n, graphLen, err := snapshotLayout(data)
+	if err != nil {
+		return nil, err
+	}
+	if version == SnapshotVersion {
+		return nil, nil
+	}
+	m := binary.LittleEndian.Uint64(data[24:32])
+	pos, err := skipSectionPadding(data, graphLen)
+	if err != nil {
+		return nil, err
+	}
+	for pos < uint64(len(data)) {
+		if uint64(len(data))-pos < stateHeaderLen+4 {
+			return nil, fmt.Errorf("store: temporal section truncated (%d trailing bytes)", uint64(len(data))-pos)
+		}
+		magic := [4]byte(data[pos : pos+4])
+		payloadLen := binary.LittleEndian.Uint64(data[pos+16 : pos+24])
+		if payloadLen > uint64(len(data))-pos-stateHeaderLen-4 {
+			return nil, fmt.Errorf("store: snapshot section %q overruns the snapshot", magic[:])
+		}
+		sec := data[pos : pos+stateHeaderLen+payloadLen+4]
+		if magic == stampsMagic {
+			return decodeStampsSection(sec, n, m)
+		}
+		if magic != stateMagic && magic != permMagic {
+			return nil, fmt.Errorf("store: unknown snapshot section magic %q", magic[:])
+		}
+		pos += stateHeaderLen + payloadLen + 4
+		if pos, err = skipSectionPadding(data, pos); err != nil {
+			return nil, err
+		}
+	}
+	return nil, nil
+}
+
+// decodeStampsSection validates and decodes one framed temporal section
+// against the graph part's n and m.
+func decodeStampsSection(sec []byte, n, m uint64) (*TemporalState, error) {
+	if v := binary.LittleEndian.Uint16(sec[4:6]); v != TemporalVersion {
+		return nil, fmt.Errorf("store: unsupported temporal-section version %d (this build reads %d)", v, TemporalVersion)
+	}
+	if binary.LittleEndian.Uint16(sec[6:8]) != 0 || binary.LittleEndian.Uint32(sec[12:16]) != 0 {
+		return nil, fmt.Errorf("store: corrupt temporal-section header (reserved fields)")
+	}
+	if secN := binary.LittleEndian.Uint32(sec[8:12]); uint64(secN) != n {
+		return nil, fmt.Errorf("store: temporal section covers n=%d, snapshot graph has n=%d", secN, n)
+	}
+	payloadLen := binary.LittleEndian.Uint64(sec[16:24])
+	if payloadLen < 16 || (payloadLen-16)%8 != 0 {
+		return nil, fmt.Errorf("store: temporal payload is %d bytes, not 16+8m", payloadLen)
+	}
+	body, crcBytes := sec[:stateHeaderLen+payloadLen], sec[stateHeaderLen+payloadLen:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(crcBytes); got != want {
+		return nil, fmt.Errorf("store: temporal-section checksum mismatch (file %#x, computed %#x)", want, got)
+	}
+	payload := body[stateHeaderLen:]
+	ts := &TemporalState{WindowMS: binary.LittleEndian.Uint64(payload[0:8])}
+	if ts.WindowMS == 0 {
+		return nil, fmt.Errorf("store: temporal section with zero window")
+	}
+	secM := binary.LittleEndian.Uint64(payload[8:16])
+	if secM != m {
+		return nil, fmt.Errorf("store: temporal section stamps %d edges, snapshot graph has %d", secM, m)
+	}
+	if payloadLen != 16+8*secM {
+		return nil, fmt.Errorf("store: temporal payload frames %d bytes, m=%d implies %d", payloadLen, secM, 16+8*secM)
+	}
+	ts.Stamps = aliasWords[int64](payload[16:], secM)
+	return ts, nil
+}

@@ -184,9 +184,10 @@ func DecodeSnapshotState(data []byte) (*MaintainerState, error) {
 	}
 	sec := data[start:]
 	if [4]byte(sec[0:4]) != stateMagic {
-		if [4]byte(sec[0:4]) == permMagic {
-			// A version-2 snapshot carrying only the relabel permutation:
-			// no state was checkpointed and none is expected.
+		if m := [4]byte(sec[0:4]); m == permMagic || m == stampsMagic {
+			// A version-2 snapshot whose first section is the relabel
+			// permutation or the temporal section: no maintainer state was
+			// checkpointed and none is expected.
 			return nil, nil
 		}
 		return nil, fmt.Errorf("store: bad maintainer-state magic %q", sec[0:4])

@@ -153,6 +153,14 @@ func newStore(dir string, opts ...Option) *Store {
 // failure the directory is removed again, so a graph whose creation was
 // reported as failed can never be resurrected by a later recovery scan.
 func Create(dir string, g *graph.Graph, meta SnapshotMeta, opts ...Option) (*Store, error) {
+	return CreateWithStamps(dir, g, meta, nil, opts...)
+}
+
+// CreateWithStamps is Create for a windowed graph: the initial snapshot
+// carries the temporal section (window length + per-edge stamps), so a crash
+// before the first checkpoint still recovers the window configuration. A nil
+// ts degrades to Create exactly.
+func CreateWithStamps(dir string, g *graph.Graph, meta SnapshotMeta, ts *TemporalState, opts ...Option) (*Store, error) {
 	s := newStore(dir, opts...)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create %s: %w", dir, err)
@@ -160,7 +168,7 @@ func Create(dir string, g *graph.Graph, meta SnapshotMeta, opts ...Option) (*Sto
 	if err := s.acquireLock(); err != nil {
 		return nil, err
 	}
-	if err := writeSnapshotFile(filepath.Join(dir, snapshotFile), g, meta, nil, nil, s.crash); err != nil {
+	if err := writeSnapshotFile(filepath.Join(dir, snapshotFile), g, meta, nil, nil, ts, s.crash); err != nil {
 		s.releaseLock()
 		os.RemoveAll(dir)
 		return nil, err
@@ -204,6 +212,13 @@ type Recovered struct {
 	// Open.
 	Perm    []int32
 	PermErr error
+	// Stamps is the snapshot's temporal section (window length + per-edge
+	// admission stamps in canonical CSR order) when the graph was windowed;
+	// nil for unwindowed graphs. StampsErr mirrors StateErr's distinction
+	// between "never written" (nil) and "present but unusable" (the decode
+	// error); neither fails Open — the graph serves unwindowed instead.
+	Stamps    *TemporalState
+	StampsErr error
 }
 
 // Open recovers the store in dir: load the snapshot, decode the WAL, repair
@@ -219,11 +234,11 @@ func Open(dir string, opts ...Option) (st *Store, rec *Recovered, err error) {
 			s.releaseLock()
 		}
 	}()
-	g, meta, state, stateErr, perm, permErr, err := readSnapshotFile(filepath.Join(dir, snapshotFile))
+	rec, err = readSnapshotFile(filepath.Join(dir, snapshotFile))
 	if err != nil {
 		return nil, nil, err
 	}
-	rec = &Recovered{Meta: meta, Graph: g, State: state, StateErr: stateErr, Perm: perm, PermErr: permErr}
+	meta := rec.Meta
 	s.snapSeq = meta.Seq
 	s.seq = meta.Seq
 
@@ -305,10 +320,13 @@ func (s *Store) fail(err error) error {
 func (s *Store) Failed() error { return s.failed }
 
 // BatchSpec is one batch of a group append: the client-submitted edges and
-// the operation, before a sequence number is assigned.
+// the operation, before a sequence number is assigned. Stamps, when non-nil,
+// carries one admission timestamp per edge (windowed graphs); it rides the
+// WAL record so replay sees the stamps the live writer applied.
 type BatchSpec struct {
 	Insert bool
 	Edges  [][2]int32
+	Stamps []int64
 }
 
 // AppendBatch makes one edge-update batch durable and returns its sequence
@@ -342,7 +360,7 @@ func (s *Store) AppendBatches(specs []BatchSpec) (uint64, error) {
 	first := s.seq + 1
 	var buf []byte
 	for i, sp := range specs {
-		buf = append(buf, EncodeBatch(Batch{Seq: first + uint64(i), Insert: sp.Insert, Edges: sp.Edges})...)
+		buf = append(buf, EncodeBatch(Batch{Seq: first + uint64(i), Insert: sp.Insert, Edges: sp.Edges, Stamps: sp.Stamps})...)
 	}
 	if _, err := s.wal.Write(buf); err != nil {
 		return 0, s.fail(fmt.Errorf("store: wal append: %w", err))
@@ -386,13 +404,21 @@ func (s *Store) CheckpointWithState(g *graph.Graph, meta SnapshotMeta, st *Maint
 // reuses the internal layout instead of re-deriving it. The atomicity
 // contract is Checkpoint's.
 func (s *Store) CheckpointSections(g *graph.Graph, meta SnapshotMeta, st *MaintainerState, perm []int32) error {
+	return s.CheckpointFull(g, meta, st, perm, nil)
+}
+
+// CheckpointFull is CheckpointSections additionally carrying the temporal
+// state of a windowed graph (window length + per-edge admission stamps), so
+// the next recovery resumes expiring without re-deriving any stamp. The
+// atomicity contract is Checkpoint's.
+func (s *Store) CheckpointFull(g *graph.Graph, meta SnapshotMeta, st *MaintainerState, perm []int32, ts *TemporalState) error {
 	if s.failed != nil {
 		return fmt.Errorf("store: poisoned by earlier failure: %w", s.failed)
 	}
 	if err := s.crash(CrashBeforeCheckpoint); err != nil {
 		return s.fail(err)
 	}
-	if err := writeSnapshotFile(filepath.Join(s.dir, snapshotFile), g, meta, st, perm, s.crash); err != nil {
+	if err := writeSnapshotFile(filepath.Join(s.dir, snapshotFile), g, meta, st, perm, ts, s.crash); err != nil {
 		return s.fail(err)
 	}
 	s.snapSeq = meta.Seq

@@ -1,0 +1,327 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"slices"
+	"strings"
+	"testing"
+
+	"repro/internal/dynamic"
+	"repro/internal/graph"
+)
+
+// TestWALStampedRoundTrip pins the version-2 record shape: stamped and
+// stampless records interleave in one log and decode back exactly, stamp
+// presence included.
+func TestWALStampedRoundTrip(t *testing.T) {
+	batches := []Batch{
+		{Seq: 1, Insert: true, Edges: [][2]int32{{0, 1}, {2, 3}}, Stamps: []int64{1000, 2000}},
+		{Seq: 2, Insert: false, Edges: [][2]int32{{0, 1}}},
+		{Seq: 3, Insert: true, Edges: [][2]int32{}, Stamps: []int64{}},
+		{Seq: 4, Insert: false, Edges: [][2]int32{{7, 9}}, Stamps: []int64{-5}},
+	}
+	img := walImage(batches...)
+	got, valid, err := DecodeWAL(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != len(img) || len(got) != len(batches) {
+		t.Fatalf("valid=%d len=%d batches=%d, want %d and %d", valid, len(img), len(got), len(img), len(batches))
+	}
+	for i, b := range got {
+		want := batches[i]
+		if b.Seq != want.Seq || b.Insert != want.Insert {
+			t.Fatalf("batch %d = %+v, want %+v", i, b, want)
+		}
+		if (b.Stamps == nil) != (want.Stamps == nil) {
+			t.Fatalf("batch %d stamp presence = %v, want %v", i, b.Stamps != nil, want.Stamps != nil)
+		}
+		if !reflect.DeepEqual(append([]int64{}, b.Stamps...), append([]int64{}, want.Stamps...)) {
+			t.Fatalf("batch %d stamps = %v, want %v", i, b.Stamps, want.Stamps)
+		}
+	}
+}
+
+// TestWALVersion1Decode pins backward compatibility: a file written with the
+// version-1 header and stampless records (what every pre-temporal build
+// produced) still decodes in full.
+func TestWALVersion1Decode(t *testing.T) {
+	img := append([]byte(nil), walMagic[:]...)
+	img = binary.LittleEndian.AppendUint16(img, 1)
+	img = binary.LittleEndian.AppendUint16(img, 0)
+	for _, b := range walBatches {
+		if b.Stamps != nil {
+			t.Fatal("v1 fixture must be stampless")
+		}
+		img = append(img, EncodeBatch(b)...)
+	}
+	got, valid, err := DecodeWAL(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != len(img) || len(got) != len(walBatches) {
+		t.Fatalf("v1 image: valid=%d/%d, %d batches, want %d", valid, len(img), len(got), len(walBatches))
+	}
+	// A stamped record is a structural impossibility under the old header
+	// only by convention; the decoder is record-driven, so it must still
+	// reject a record whose op byte lies about the stamp block's length.
+	rec := EncodeBatch(Batch{Seq: 9, Insert: true, Edges: [][2]int32{{1, 2}}})
+	rec[8+8] |= walOpStamped // claim stamps without carrying them
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(rec[8:]))
+	if _, _, ok := decodeRecord(rec); ok {
+		t.Fatal("record claiming stamps without a stamp block accepted")
+	}
+}
+
+// TestWALStampCountMismatchPanics pins the encoder guard: a batch whose
+// stamp count disagrees with its edge count is a programming error, not an
+// encodable state.
+func TestWALStampCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched stamp count did not panic")
+		}
+	}()
+	EncodeBatch(Batch{Seq: 1, Insert: true, Edges: [][2]int32{{0, 1}}, Stamps: []int64{1, 2}})
+}
+
+// temporalFixture returns a graph and a TemporalState stamping each of its
+// edges in canonical CSR order.
+func temporalFixture(t *testing.T) (*graph.Graph, *TemporalState) {
+	t.Helper()
+	g, err := graph.FromEdges(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, &TemporalState{WindowMS: 3_600_000, Stamps: []int64{10, 20, 30, 40, 50}}
+}
+
+// TestTemporalSectionRoundTrip pins the EBTS section next to every
+// combination of its sibling sections, and that the sibling decoders ignore
+// it.
+func TestTemporalSectionRoundTrip(t *testing.T) {
+	g, ts := temporalFixture(t)
+	perm := []int32{1, 3, 0, 4, 2}
+	st := &MaintainerState{Local: dynamic.NewMaintainer(g).ExportState()}
+	for name, tc := range map[string]struct {
+		st   *MaintainerState
+		perm []int32
+	}{
+		"stamps only":            {nil, nil},
+		"state then stamps":      {st, nil},
+		"perm then stamps":       {nil, perm},
+		"state perm then stamps": {st, perm},
+	} {
+		t.Run(name, func(t *testing.T) {
+			img := EncodeSnapshotFull(g, SnapshotMeta{Seq: 7}, tc.st, tc.perm, ts)
+			if _, _, err := DecodeSnapshot(img); err != nil {
+				t.Fatalf("graph part: %v", err)
+			}
+			got, err := DecodeSnapshotStamps(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.WindowMS != ts.WindowMS || !slices.Equal(got.Stamps, ts.Stamps) {
+				t.Fatalf("stamps = %+v, want %+v", got, ts)
+			}
+			state, err := DecodeSnapshotState(img)
+			if err != nil || (state != nil) != (tc.st != nil) {
+				t.Fatalf("state = %v (err %v), presence want %v", state, err, tc.st != nil)
+			}
+			gotPerm, err := DecodeSnapshotPerm(img)
+			if err != nil || !slices.Equal(gotPerm, tc.perm) {
+				t.Fatalf("perm = %v (err %v), want %v", gotPerm, err, tc.perm)
+			}
+		})
+	}
+
+	t.Run("absent from v1 and stampless v2", func(t *testing.T) {
+		for _, img := range [][]byte{
+			EncodeSnapshot(g, SnapshotMeta{}),
+			EncodeSnapshotFull(g, SnapshotMeta{}, st, perm, nil),
+		} {
+			got, err := DecodeSnapshotStamps(img)
+			if got != nil || err != nil {
+				t.Fatalf("stamps = %v, err = %v; want nil, nil", got, err)
+			}
+		}
+	})
+}
+
+// TestTemporalSectionCorruption checks section independence: damage to the
+// EBTS section surfaces from DecodeSnapshotStamps while the graph and its
+// sibling sections still load.
+func TestTemporalSectionCorruption(t *testing.T) {
+	g, ts := temporalFixture(t)
+	st := &MaintainerState{Local: dynamic.NewMaintainer(g).ExportState()}
+	img := EncodeSnapshotFull(g, SnapshotMeta{}, st, nil, ts)
+	secLen := stateHeaderLen + 16 + 8*len(ts.Stamps) + 4
+
+	cases := map[string]struct {
+		mutate func([]byte)
+		want   string
+	}{
+		"flipped stamp payload": {
+			mutate: func(b []byte) { b[len(b)-12] ^= 0x04 },
+			want:   "checksum",
+		},
+		"version skew": {
+			mutate: func(b []byte) { b[len(b)-secLen+4] = 9 },
+			want:   "version",
+		},
+		"wrong n": {
+			mutate: func(b []byte) {
+				off := len(b) - secLen
+				binary.LittleEndian.PutUint32(b[off+8:off+12], 99)
+				resealTemporal(b, off, secLen)
+			},
+			want: "covers n=99",
+		},
+		"wrong m": {
+			mutate: func(b []byte) {
+				off := len(b) - secLen
+				binary.LittleEndian.PutUint64(b[off+stateHeaderLen+8:off+stateHeaderLen+16], 2)
+				resealTemporal(b, off, secLen)
+			},
+			want: "stamps 2 edges",
+		},
+		"zero window": {
+			mutate: func(b []byte) {
+				off := len(b) - secLen
+				binary.LittleEndian.PutUint64(b[off+stateHeaderLen:off+stateHeaderLen+8], 0)
+				resealTemporal(b, off, secLen)
+			},
+			want: "zero window",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			data := append([]byte(nil), img...)
+			tc.mutate(data)
+			if _, _, err := DecodeSnapshot(data); err != nil {
+				t.Fatalf("graph part should be unaffected: %v", err)
+			}
+			if _, err := DecodeSnapshotState(data); err != nil {
+				t.Fatalf("state section should be unaffected: %v", err)
+			}
+			_, err := DecodeSnapshotStamps(data)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("stamps decode error = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+
+	t.Run("truncated temporal section", func(t *testing.T) {
+		data := append([]byte(nil), img[:len(img)-6]...)
+		if _, _, err := DecodeSnapshot(data); err != nil {
+			t.Fatalf("graph part should be unaffected: %v", err)
+		}
+		if _, err := DecodeSnapshotStamps(data); err == nil {
+			t.Fatal("truncated temporal section accepted")
+		}
+	})
+}
+
+// resealTemporal recomputes the section CRC after a deliberate header/payload
+// mutation, so the test exercises the semantic check rather than the CRC.
+func resealTemporal(b []byte, off, secLen int) {
+	binary.LittleEndian.PutUint32(b[off+secLen-4:off+secLen], crc32.ChecksumIEEE(b[off:off+secLen-4]))
+}
+
+// TestTemporalStoreRoundTrip pins the recovery contract: the window and
+// stamps written at CreateWithStamps survive Open, a CheckpointFull replaces
+// them, and a corrupt section degrades to StampsErr without failing Open.
+func TestTemporalStoreRoundTrip(t *testing.T) {
+	g, ts := temporalFixture(t)
+	dir := t.TempDir()
+	s, err := CreateWithStamps(dir, g, SnapshotMeta{}, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.StampsErr != nil || rec.Stamps == nil {
+		t.Fatalf("stamps = %v, err = %v", rec.Stamps, rec.StampsErr)
+	}
+	if rec.Stamps.WindowMS != ts.WindowMS || !slices.Equal(rec.Stamps.Stamps, ts.Stamps) {
+		t.Fatalf("recovered %+v, want %+v", rec.Stamps, ts)
+	}
+
+	ts2 := &TemporalState{WindowMS: ts.WindowMS, Stamps: []int64{11, 21, 31, 41, 51}}
+	if err := s2.CheckpointFull(g, SnapshotMeta{Seq: s2.Seq()}, nil, nil, ts2); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, rec, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3.Close()
+	if rec.StampsErr != nil || !slices.Equal(rec.Stamps.Stamps, ts2.Stamps) {
+		t.Fatalf("post-checkpoint stamps = %v (err %v), want %v", rec.Stamps, rec.StampsErr, ts2.Stamps)
+	}
+
+	// Corrupt the section in place: Open must still succeed, with the error
+	// surfaced on StampsErr.
+	path := filepath.Join(dir, snapshotFile)
+	data, err := readFileShared(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append([]byte(nil), data...)
+	data[len(data)-12] ^= 0x04
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s4, rec, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open failed on corrupt temporal section: %v", err)
+	}
+	defer s4.Close()
+	if rec.StampsErr == nil || rec.Stamps != nil {
+		t.Fatalf("stamps = %v, err = %v; want nil + error", rec.Stamps, rec.StampsErr)
+	}
+}
+
+// TestStampedAppendReplaysStamps pins the write-path contract the expiry
+// scheduler depends on: stamps handed to AppendBatches come back from the
+// WAL tail on recovery, alongside stampless batches in the same group.
+func TestStampedAppendReplaysStamps(t *testing.T) {
+	g, ts := temporalFixture(t)
+	dir := t.TempDir()
+	s, err := CreateWithStamps(dir, g, SnapshotMeta{}, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.AppendBatches([]BatchSpec{
+		{Insert: true, Edges: [][2]int32{{1, 4}, {2, 4}}, Stamps: []int64{60, 70}},
+		{Insert: false, Edges: [][2]int32{{0, 1}}},
+	})
+	if err != nil || first != 1 {
+		t.Fatalf("append: first=%d err=%v", first, err)
+	}
+	s.Close()
+	s2, rec, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(rec.Tail) != 2 {
+		t.Fatalf("tail has %d batches, want 2", len(rec.Tail))
+	}
+	if !slices.Equal(rec.Tail[0].Stamps, []int64{60, 70}) {
+		t.Fatalf("tail stamps = %v, want [60 70]", rec.Tail[0].Stamps)
+	}
+	if rec.Tail[1].Stamps != nil {
+		t.Fatalf("stampless batch grew stamps %v", rec.Tail[1].Stamps)
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"hash/crc32"
 )
 
-// WALVersion is the on-disk write-ahead-log format version.
-const WALVersion = 1
+// WALVersion is the on-disk write-ahead-log format version. Version 2 added
+// the optional per-edge timestamp block (op bit 1); version-1 files contain
+// only the stampless record shape and remain readable.
+const WALVersion = 2
 
 // walMagic identifies a WAL file ("EBWL": Ego-BetWeenness Log).
 var walMagic = [4]byte{'E', 'B', 'W', 'L'}
@@ -20,23 +22,41 @@ const walHeaderLen = 8
 // submitted it (including edges that will fail individually on apply — the
 // application code skips those deterministically, so replay reproduces the
 // live outcome).
+//
+// Stamps, when non-nil, holds one unix-millisecond timestamp per edge. The
+// leader assigns them at admission (client-provided or receive time) so that
+// replay — crash recovery, instant import, and shipped replicas — sees the
+// exact stamps the live writer applied and expires the same edges at the
+// same sequence numbers.
 type Batch struct {
 	Seq    uint64
 	Insert bool
 	Edges  [][2]int32
+	Stamps []int64
 }
 
 // WAL record layout (little-endian), appended back to back after the file
 // header:
 //
-//	payloadLen uint32 = 13 + 8*len(edges)
+//	payloadLen uint32 = 13 + 8*len(edges)            (stampless)
+//	                  = 13 + 16*len(edges)           (stamped)
 //	crc        uint32 (IEEE, over the payload)
 //	payload:
 //	  seq      uint64
-//	  op       uint8 (1 insert, 0 delete)
+//	  op       uint8  (bit 0: 1 insert, 0 delete; bit 1: stamps present)
 //	  numEdges uint32
 //	  edges    numEdges × (int32 u, int32 v)
+//	  stamps   numEdges × int64 unix ms   (only when op bit 1 is set)
+//
+// The record is self-describing: the stamp block's presence is declared by
+// the op byte and cross-checked against payloadLen, so version-1 records
+// (op ∈ {0,1}) decode unchanged.
 const walRecordFixed = 13 // seq + op + numEdges
+
+const (
+	walOpInsert  = 0x01
+	walOpStamped = 0x02
+)
 
 // walFileHeader returns the 8-byte WAL file header.
 func walFileHeader() []byte {
@@ -48,20 +68,32 @@ func walFileHeader() []byte {
 
 // EncodeBatch serializes one WAL record.
 func EncodeBatch(b Batch) []byte {
+	if b.Stamps != nil && len(b.Stamps) != len(b.Edges) {
+		panic(fmt.Sprintf("store: batch with %d edges but %d stamps", len(b.Edges), len(b.Stamps)))
+	}
 	payloadLen := walRecordFixed + 8*len(b.Edges)
+	if b.Stamps != nil {
+		payloadLen += 8 * len(b.Stamps)
+	}
 	buf := make([]byte, 0, 8+payloadLen)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(payloadLen))
 	buf = binary.LittleEndian.AppendUint32(buf, 0) // crc backfilled below
 	buf = binary.LittleEndian.AppendUint64(buf, b.Seq)
 	op := byte(0)
 	if b.Insert {
-		op = 1
+		op |= walOpInsert
+	}
+	if b.Stamps != nil {
+		op |= walOpStamped
 	}
 	buf = append(buf, op)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Edges)))
 	for _, e := range b.Edges {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(e[0]))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(e[1]))
+	}
+	for _, ts := range b.Stamps {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ts))
 	}
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(buf[8:]))
 	return buf
@@ -82,22 +114,35 @@ func decodeRecord(data []byte) (b Batch, size int, ok bool) {
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[4:8]) {
 		return Batch{}, 0, false
 	}
+	op := payload[8]
+	if op&^(walOpInsert|walOpStamped) != 0 {
+		return Batch{}, 0, false
+	}
 	numEdges := int(binary.LittleEndian.Uint32(payload[9:13]))
-	if payloadLen != walRecordFixed+8*numEdges {
+	perEdge := 8
+	if op&walOpStamped != 0 {
+		perEdge = 16
+	}
+	if payloadLen != walRecordFixed+perEdge*numEdges {
 		return Batch{}, 0, false
 	}
 	b = Batch{
 		Seq:    binary.LittleEndian.Uint64(payload[0:8]),
-		Insert: payload[8] == 1,
-	}
-	if payload[8] > 1 {
-		return Batch{}, 0, false
+		Insert: op&walOpInsert != 0,
 	}
 	b.Edges = make([][2]int32, numEdges)
 	for i := range b.Edges {
 		off := walRecordFixed + 8*i
 		b.Edges[i][0] = int32(binary.LittleEndian.Uint32(payload[off : off+4]))
 		b.Edges[i][1] = int32(binary.LittleEndian.Uint32(payload[off+4 : off+8]))
+	}
+	if op&walOpStamped != 0 {
+		b.Stamps = make([]int64, numEdges)
+		base := walRecordFixed + 8*numEdges
+		for i := range b.Stamps {
+			off := base + 8*i
+			b.Stamps[i] = int64(binary.LittleEndian.Uint64(payload[off : off+8]))
+		}
 	}
 	return b, 8 + payloadLen, true
 }
@@ -108,6 +153,10 @@ func decodeRecord(data []byte) (b Batch, size int, ok bool) {
 // (crash-recovery treats the first invalid record as the end of the log —
 // in an append-only file nothing after a torn write can be trusted). A bad
 // file header is a hard error: nothing in the file is usable.
+//
+// Version-1 files (no stamped records) decode under the same loop: the
+// record format is self-describing via the op byte, so accepting the old
+// header version is all backward compatibility requires.
 //
 // Sequence numbers within one WAL file are strictly increasing — the writer
 // assigns prev+1 under its lock — so a record whose Seq does not exceed its
@@ -122,8 +171,8 @@ func DecodeWAL(data []byte) (batches []Batch, valid int, err error) {
 	if [4]byte(data[0:4]) != walMagic {
 		return nil, 0, fmt.Errorf("store: bad wal magic %q", data[0:4])
 	}
-	if v := binary.LittleEndian.Uint16(data[4:6]); v != WALVersion {
-		return nil, 0, fmt.Errorf("store: unsupported wal version %d (this build reads %d)", v, WALVersion)
+	if v := binary.LittleEndian.Uint16(data[4:6]); v == 0 || v > WALVersion {
+		return nil, 0, fmt.Errorf("store: unsupported wal version %d (this build reads ≤%d)", v, WALVersion)
 	}
 	if binary.LittleEndian.Uint16(data[6:8]) != 0 {
 		return nil, 0, fmt.Errorf("store: corrupt wal header (reserved field)")
