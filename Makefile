@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test bench bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-figs bench-smoke fuzz-smoke cover serve fmt lint vet clean
+.PHONY: build test bench bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-pr10 bench-recall bench-figs bench-smoke fuzz-smoke cover serve fmt lint vet clean
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,11 @@ test: vet
 # and the PR 8 replication rows: follower bootstrap, read latency under
 # open-loop load, and steady-state replica lag, and the PR 9 temporal
 # rows: expiry-churn drain cost at 0/16/256/2048 expired edges and
-# windowed read p50/p99 under open-loop churn), written to BENCH_PR9.json
-# so the perf trajectory is tracked across PRs.
-bench: bench-pr9
+# windowed read p50/p99 under open-loop churn, and the PR 10 approx-tier
+# rows: the algo=approx latency/recall frontier at three eps points with a
+# paired exact baseline), written to BENCH_PR10.json so the perf
+# trajectory is tracked across PRs.
+bench: bench-pr10
 
 bench-pr5: build
 	$(GO) run ./cmd/benchtab -prbench BENCH_PR5.json
@@ -39,6 +41,14 @@ bench-pr8: build
 
 bench-pr9: build
 	$(GO) run ./cmd/benchtab -prbench BENCH_PR9.json
+
+bench-pr10: build
+	$(GO) run ./cmd/benchtab -prbench BENCH_PR10.json
+
+# Approx-tier recall smoke: the latency/recall frontier table, gated on
+# recall@100 >= 0.9 at the default eps (the CI non-gating step).
+bench-recall: build
+	$(GO) run ./cmd/benchtab -recall dblp,ir -min-recall 0.9
 
 # Regenerate the paper's tables and figures (quick grids; -full for the
 # paper's grids). See EXPERIMENTS.md.

@@ -78,6 +78,8 @@ type config struct {
 	window       time.Duration
 	follow       string
 	followEvery  time.Duration
+	approxEps    float64
+	approxConf   float64
 }
 
 func main() {
@@ -98,6 +100,8 @@ func main() {
 	flag.DurationVar(&cfg.window, "window", 0, "default sliding window for created graphs (e.g. 6h): edges older than the window are expired through WAL-recorded delete batches; 0 = unwindowed. Per-graph \"window\" on create overrides")
 	flag.StringVar(&cfg.follow, "follow", "", "run as a read-only follower of the leader at this base URL (e.g. http://leader:8080): graphs ship over from its checkpoints and WAL stream; local writes are rejected")
 	flag.DurationVar(&cfg.followEvery, "follow-interval", 200*time.Millisecond, "how often a follower polls the leader's WAL stream (bounds read staleness)")
+	flag.Float64Var(&cfg.approxEps, "approx-eps", 0, "default normalized error target for algo=approx top-k queries that leave eps unset, in (0, 1) (0 = package default 0.05)")
+	flag.Float64Var(&cfg.approxConf, "approx-conf", 0, "default confidence for algo=approx top-k queries that leave conf unset, in (0, 1) (0 = package default 0.95)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -126,6 +130,7 @@ func setup(cfg config) (*server.Server, error) {
 		server.WithCompactPolicy(cfg.compactDepth, cfg.compactDirty),
 		server.WithRelabeling(cfg.relabel),
 		server.WithWindow(cfg.window),
+		server.WithApproxDefaults(cfg.approxEps, cfg.approxConf),
 	}
 	if cfg.dataDir != "" {
 		regOpts = append(regOpts,

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// LoadPRBench reads a bench-regression document (the JSON WritePRBench
+// emits) back from path.
+func LoadPRBench(path string) (PRBench, error) {
+	var doc PRBench
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, fmt.Errorf("bench: read %s: %w", path, err)
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// ReadTaxDrift compares overlay_read_tax per dataset between a baseline
+// and a current bench document and returns one human-readable flag per
+// dataset whose tax moved by more than threshold (relative, e.g. 0.10 =
+// ±10%). Datasets missing from either side, or with a zero tax row, are
+// skipped: the guard exists to catch drift like the PR7→PR9 episode —
+// where a cross-stage measurement artifact moved the ratio ≈0.93→≈1.12
+// with no read-path change — not to gate on incomplete documents.
+func ReadTaxDrift(base, cur PRBench, threshold float64) []string {
+	baseline := make(map[string]float64, len(base.Datasets))
+	for _, d := range base.Datasets {
+		baseline[d.Dataset] = d.OverlayReadTax
+	}
+	var flags []string
+	for _, d := range cur.Datasets {
+		b, ok := baseline[d.Dataset]
+		if !ok || b <= 0 || d.OverlayReadTax <= 0 {
+			continue
+		}
+		drift := d.OverlayReadTax/b - 1
+		if math.Abs(drift) > threshold {
+			flags = append(flags, fmt.Sprintf(
+				"%s: overlay_read_tax %.3f -> %.3f (%+.1f%%, threshold ±%.0f%%)",
+				d.Dataset, b, d.OverlayReadTax, 100*drift, 100*threshold))
+		}
+	}
+	return flags
+}

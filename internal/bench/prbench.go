@@ -11,6 +11,7 @@ import (
 	"slices"
 	"time"
 
+	"repro/internal/approx"
 	"repro/internal/dataset"
 	"repro/internal/dynamic"
 	"repro/internal/ego"
@@ -148,6 +149,30 @@ type PRBenchEntry struct {
 	WindowedReadP99Ns     int64   `json:"windowed_read_p99_ns"`
 	WindowedExpiryBatches int64   `json:"windowed_expiry_batches"`
 	WindowedExpiredEdges  int64   `json:"windowed_expired_edges"`
+
+	// Approximate serving tier (PR 10, internal/approx): the latency/recall
+	// frontier of algo=approx. The headline rows are the default-ε point
+	// (approx.DefaultEps); the frontier sweeps ε so the trade-off is visible
+	// in one document. Speedups are paired: the exact OptBSearch baseline is
+	// re-timed best-of-3 in the same stage, interleaved with the approx
+	// runs, so the ratio is not polluted by cross-stage machine drift (the
+	// overlay_read_tax lesson — see measureReadPath).
+	ApproxTopKK100Ns   int64         `json:"approx_topk_k100_ns_op"`
+	ApproxSpeedupVsOpt float64       `json:"approx_speedup_vs_opt"`
+	ApproxRecallAt100  float64       `json:"approx_recall_at_100"`
+	ApproxFrontier     []ApproxPoint `json:"approx_frontier"`
+}
+
+// ApproxPoint is one ε setting on the approx tier's latency/recall
+// frontier: best-of-3 wall-clock for a k=100 query, recall against the
+// exact top-100, and the estimator's own telemetry.
+type ApproxPoint struct {
+	Eps         float64 `json:"eps"`
+	TopKNs      int64   `json:"topk_ns_op"`
+	Speedup     float64 `json:"speedup_vs_opt"`
+	Recall      float64 `json:"recall_at_100"`
+	Samples     int64   `json:"samples"`
+	EpsAchieved float64 `json:"eps_achieved"`
 }
 
 // PRBench is the bench-regression document (currently BENCH_PR5.json).
@@ -230,6 +255,7 @@ func RunPRBench(names []string) PRBench {
 		measureReadPath(&e, g)
 		measureShip(&e, g)
 		measureWindow(&e, g)
+		measureApprox(&e, g)
 
 		doc.Datasets = append(doc.Datasets, e)
 	}
@@ -415,11 +441,41 @@ func measurePublish(e *PRBenchEntry, g *graph.Graph) {
 }
 
 // measureReadPath times the PR 7 read-path kernels on dataset graph g: the
-// overlay read tax (derived from the rows measurePublish recorded), the
-// degree-relabeled OptBSearch, and the hub×hub intersection kernels.
+// overlay read tax, the degree-relabeled OptBSearch, and the hub×hub
+// intersection kernels.
 func measureReadPath(e *PRBenchEntry, g *graph.Graph) {
-	if e.OptBSearchK100Ns > 0 {
-		e.OverlayReadTax = float64(e.OptOverlayK100Ns) / float64(e.OptBSearchK100Ns)
+	// Overlay read tax, measured paired. The row used to be the ratio of
+	// two single-shot measurements taken in different stages of the run
+	// (opt_bsearch_k100_ns_op at the top of RunPRBench, the overlay row
+	// inside measurePublish), so unrelated machine state — GC pressure and
+	// page-cache residency left behind by whatever ran in between — landed
+	// on one side of the ratio but not the other. That is how the dblp tax
+	// "regressed" from ≈0.93 (BENCH_PR7) to ≈1.12 (BENCH_PR9) while both
+	// absolute rows improved: a measurement artifact, not a read-path
+	// change (the PR 9 TemporalIndex never touches this path — prbench
+	// builds no windowed graphs before this stage). Interleaving the two
+	// sides in one loop and keeping each side's best-of-3 makes the ratio
+	// self-paired; the `benchtab -readtax-guard` check flags future drift.
+	// The overlay is the same shape measurePublish priced: a chain carrying
+	// 256 dirtied rows.
+	dyn := graph.DynFromGraph(g)
+	batch := pickEdges(g, 256, 0x9E0)
+	for _, ed := range batch {
+		must(dyn.DeleteEdge(ed[0], ed[1]))
+	}
+	ov := dyn.FreezeOverlay(g)
+	frozenBest, overlayBest := int64(math.MaxInt64), int64(math.MaxInt64)
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+		if t := int64(timeIt(func() { ego.OptBSearch(g, 100, 1.05) })); t < frozenBest {
+			frozenBest = t
+		}
+		if t := int64(timeIt(func() { ego.OptBSearch(ov, 100, 1.05) })); t < overlayBest {
+			overlayBest = t
+		}
+	}
+	if frozenBest > 0 {
+		e.OverlayReadTax = float64(overlayBest) / float64(frozenBest)
 	}
 
 	var rl *graph.Relabeled
@@ -475,6 +531,60 @@ func hubPair() ([]int32, []int32) {
 		return out
 	}
 	return list(), list()
+}
+
+// approxFrontierEps is the ε sweep the frontier rows cover, default point
+// included.
+var approxFrontierEps = []float64{0.02, approx.DefaultEps, 0.1}
+
+// measureApprox prices the PR 10 approximate tier on dataset graph g: a
+// k=100 approx query at each frontier ε against a same-stage exact
+// OptBSearch baseline. Both sides are best-of-3 with the exact shot
+// interleaved into the same loop, so the speedup is a paired ratio (same
+// rationale as the overlay read tax above). Recall is against the exact
+// top-100 vertex set.
+func measureApprox(e *PRBenchEntry, g *graph.Graph) {
+	const k = 100
+	var exact []ego.Result
+	optBest := int64(math.MaxInt64)
+	measureOpt := func() {
+		if t := int64(timeIt(func() { exact, _ = ego.OptBSearch(g, k, 1.05) })); t < optBest {
+			optBest = t
+		}
+	}
+	for _, eps := range approxFrontierEps {
+		opts := approx.Options{Eps: eps}
+		var res []ego.Result
+		var st approx.Stats
+		best := int64(math.MaxInt64)
+		for i := 0; i < 3; i++ {
+			runtime.GC()
+			measureOpt()
+			if t := int64(timeIt(func() { res, st = approx.TopK(g, k, opts) })); t < best {
+				best = t
+			}
+		}
+		e.ApproxFrontier = append(e.ApproxFrontier, ApproxPoint{
+			Eps:         eps,
+			TopKNs:      best,
+			Recall:      ego.Overlap(exact, res),
+			Samples:     st.Samples,
+			EpsAchieved: st.EpsAchieved,
+		})
+	}
+	// Fill speedups once the sweep is done, so every point divides by the
+	// same (final, tightest) exact baseline.
+	for i := range e.ApproxFrontier {
+		p := &e.ApproxFrontier[i]
+		if p.TopKNs > 0 {
+			p.Speedup = float64(optBest) / float64(p.TopKNs)
+		}
+		if p.Eps == approx.DefaultEps {
+			e.ApproxTopKK100Ns = p.TopKNs
+			e.ApproxSpeedupVsOpt = p.Speedup
+			e.ApproxRecallAt100 = p.Recall
+		}
+	}
 }
 
 // WritePRBench runs the regression suite and writes BENCH-style JSON to

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/dataset"
+)
+
+// RecallReport runs the approx tier's latency/recall frontier on the named
+// datasets (k=100, the ε sweep of the BENCH frontier rows) and writes a
+// human-readable table to w. It returns each dataset's recall@100 at the
+// default ε, keyed by dataset name, so callers (the CI recall smoke) can
+// gate on it.
+func RecallReport(w io.Writer, names []string) (map[string]float64, error) {
+	atDefault := make(map[string]float64, len(names))
+	fmt.Fprintf(w, "%-8s %8s %10s %6s %14s %9s %11s %10s %13s\n",
+		"dataset", "n", "m", "eps", "topk", "speedup", "recall@100", "samples", "eps_achieved")
+	for _, name := range names {
+		g, err := dataset.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		e := PRBenchEntry{Dataset: name, N: g.NumVertices(), M: g.NumEdges()}
+		measureApprox(&e, g)
+		for _, p := range e.ApproxFrontier {
+			fmt.Fprintf(w, "%-8s %8d %10d %6.3f %14s %8.1fx %11.3f %10d %13.4f\n",
+				name, e.N, e.M, p.Eps, perOpStr(time.Duration(p.TopKNs)),
+				p.Speedup, p.Recall, p.Samples, p.EpsAchieved)
+		}
+		atDefault[name] = e.ApproxRecallAt100
+		fmt.Fprintf(w, "%-8s default eps %.2f: speedup %.1fx, recall@100 %.3f\n",
+			name, approx.DefaultEps, e.ApproxSpeedupVsOpt, e.ApproxRecallAt100)
+	}
+	return atDefault, nil
+}

@@ -33,8 +33,7 @@ func BetweennessApprox(g *graph.Graph, pivots int, seed uint64, t int) []float64
 	}
 	// Sample pivot sources without replacement.
 	rng := rand.New(rand.NewPCG(seed, 0xA110C8))
-	perm := rng.Perm(int(n))
-	sources := perm[:pivots]
+	sources := samplePivots(rng, n, pivots)
 
 	partial := make([][]float64, t)
 	var cursor atomic.Int64
@@ -51,7 +50,7 @@ func BetweennessApprox(g *graph.Graph, pivots int, seed uint64, t int) []float64
 				if idx >= int64(len(sources)) {
 					break
 				}
-				w.accumulate(int32(sources[idx]), acc)
+				w.accumulate(sources[idx], acc)
 			}
 			partial[id] = acc
 		}(i)
@@ -70,4 +69,29 @@ func BetweennessApprox(g *graph.Graph, pivots int, seed uint64, t int) []float64
 		bc[v] *= scale
 	}
 	return bc
+}
+
+// samplePivots draws pivots distinct vertices uniformly from [0, n) by a
+// partial Fisher–Yates shuffle over a sparse swap map: only the entries an
+// actual swap touched are stored, so allocation is O(pivots) rather than
+// the O(n) of materializing a full permutation — on a million-vertex graph
+// with a few hundred pivots that is the difference between kilobytes and
+// megabytes per call. Draw i swaps position i with a uniform position in
+// [i, n); the map records displaced values where the dense permutation
+// array would.
+func samplePivots(rng *rand.Rand, n int32, pivots int) []int32 {
+	sources := make([]int32, pivots)
+	swapped := make(map[int32]int32, 2*pivots)
+	at := func(i int32) int32 {
+		if v, ok := swapped[i]; ok {
+			return v
+		}
+		return i
+	}
+	for i := 0; i < pivots; i++ {
+		j := int32(i) + rng.Int32N(n-int32(i))
+		sources[i] = at(j)
+		swapped[j] = at(int32(i))
+	}
+	return sources
 }

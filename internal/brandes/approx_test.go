@@ -2,6 +2,7 @@ package brandes
 
 import (
 	"math"
+	"math/rand/v2"
 	"testing"
 
 	"repro/internal/gen"
@@ -70,5 +71,51 @@ func TestApproxDegenerate(t *testing.T) {
 	}
 	if got := BetweennessApprox(g, 1000, 1, 1); len(got) != 10 {
 		t.Fatalf("pivots>n must clamp to n; got %d values", len(got))
+	}
+}
+
+// TestSamplePivotsDistinct: the partial Fisher–Yates draw must produce
+// distinct in-range vertices, and drawing all n must yield a permutation.
+func TestSamplePivotsDistinct(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 0xA110C8))
+	for _, tc := range []struct{ n, pivots int }{
+		{10, 1}, {10, 10}, {1000, 30}, {1000, 999}, {5000, 128},
+	} {
+		got := samplePivots(rng, int32(tc.n), tc.pivots)
+		if len(got) != tc.pivots {
+			t.Fatalf("n=%d pivots=%d: got %d sources", tc.n, tc.pivots, len(got))
+		}
+		seen := make(map[int32]bool, len(got))
+		for _, v := range got {
+			if v < 0 || v >= int32(tc.n) {
+				t.Fatalf("n=%d: source %d out of range", tc.n, v)
+			}
+			if seen[v] {
+				t.Fatalf("n=%d pivots=%d: duplicate source %d", tc.n, tc.pivots, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// BenchmarkSamplePivots measures the pivot draw at serving-relevant
+// shapes: the allocation must track pivots, not n (the old full-Perm draw
+// paid O(n) per call regardless of how few pivots were wanted).
+func BenchmarkSamplePivots(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		n      int32
+		pivots int
+	}{
+		{"n=16k/pivots=64", 16_000, 64},
+		{"n=1M/pivots=256", 1_000_000, 256},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(7, 0xA110C8))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				samplePivots(rng, tc.n, tc.pivots)
+			}
+		})
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/approx"
 	"repro/internal/dynamic"
 	"repro/internal/ego"
 	"repro/internal/graph"
@@ -35,6 +36,7 @@ const (
 	AlgoLazy   = "lazy"   // the LazyTopK result set (ModeLazy, query k ≤ configured k)
 	AlgoOpt    = "opt"    // OptBSearch on the snapshot CSR
 	AlgoBase   = "base"   // BaseBSearch on the snapshot CSR
+	AlgoApprox = "approx" // sampled estimator with (ε, δ) bounds (internal/approx)
 )
 
 // defaultTheta is the OptBSearch pruning parameter used when a query leaves
@@ -70,7 +72,7 @@ type snapshot struct {
 	publishDur   time.Duration
 	buildWorkers int
 
-	cache      sync.Map     // cacheKey -> []ego.Result
+	cache      sync.Map     // cacheKey -> cachedResult
 	cacheCount atomic.Int64 // entries stored, enforcing maxCacheEntries
 	statsOnce  sync.Once
 	stats      graph.Stats
@@ -103,7 +105,7 @@ const maxCacheEntries = 256
 // goroutine already holds the key — so concurrent misses can never push
 // the cache past maxCacheEntries (a plain load-then-add check-then-act
 // would let every goroutine at cap−1 pass the check at once).
-func (s *snapshot) cacheStore(key cacheKey, res []ego.Result) {
+func (s *snapshot) cacheStore(key cacheKey, res cachedResult) {
 	if s.cacheCount.Add(1) > maxCacheEntries {
 		s.cacheCount.Add(-1)
 		return
@@ -113,12 +115,27 @@ func (s *snapshot) cacheStore(key cacheKey, res []ego.Result) {
 	}
 }
 
-// cacheKey identifies one top-k answer shape on a given snapshot. θ is
-// keyed by its bit pattern so any float compares exactly.
+// cachedResult is what the snapshot cache holds per key: the result list
+// plus, for AlgoApprox, the estimator telemetry the payload echoes — a
+// cache hit must report the same samples/ε-achieved the original
+// computation did.
+type cachedResult struct {
+	res         []ego.Result
+	samples     int64
+	epsAchieved float64
+}
+
+// cacheKey identifies one top-k answer shape on a given snapshot. Floats
+// (θ, ε, δ) are keyed by their bit patterns so any value compares
+// exactly; the ε/δ/seed fields are zero except for AlgoApprox, whose
+// answers depend on all three.
 type cacheKey struct {
 	k         int
 	algo      string
 	thetaBits uint64
+	epsBits   uint64
+	confBits  uint64
+	seed      uint64
 }
 
 // Stats returns the Table-I style statistics of the snapshot, computed once
@@ -281,6 +298,11 @@ type entry struct {
 	inserts     atomic.Int64
 	deletes     atomic.Int64
 
+	// Approximate-tier accounting: AlgoApprox queries computed (cache hits
+	// excluded) and the pair samples they drew in total.
+	approxQueries atomic.Int64
+	approxSamples atomic.Int64
+
 	// Write-pipeline accounting: drains committed, batches carried by them
 	// (coalescedBatches/groupCommits is the amortization factor), and
 	// admissions rejected by backpressure.
@@ -407,6 +429,12 @@ type Registry struct {
 	// in production, injectable for deterministic tests.
 	window time.Duration
 	nowMS  func() int64
+
+	// Approximate tier defaults (DESIGN.md §15): the ε / confidence an
+	// AlgoApprox query gets when it leaves the knobs unset. Zero values
+	// fall through to the package defaults (approx.DefaultEps/DefaultConf).
+	approxEps  float64
+	approxConf float64
 }
 
 // RegistryOption configures a Registry.
@@ -418,6 +446,21 @@ type RegistryOption func(*Registry)
 // goroutines. n ≤ 0 selects GOMAXPROCS.
 func WithBuildWorkers(n int) RegistryOption {
 	return func(r *Registry) { r.workers = n }
+}
+
+// WithApproxDefaults sets the ε / confidence that AlgoApprox queries get
+// when they leave the knobs unset (0 keeps the package defaults). Values
+// must lie in (0, 1); anything else is ignored rather than half-applied,
+// matching how queries themselves are validated.
+func WithApproxDefaults(eps, conf float64) RegistryOption {
+	return func(r *Registry) {
+		if eps > 0 && eps < 1 {
+			r.approxEps = eps
+		}
+		if conf > 0 && conf < 1 {
+			r.approxConf = conf
+		}
+	}
 }
 
 // WithDataDir makes the registry durable: every graph gets a WAL + snapshot
@@ -919,6 +962,12 @@ type GraphInfo struct {
 	ReplicaLagSeq uint64  `json:"replica_lag_seq,omitempty"`
 	ReplicaLagMS  float64 `json:"replica_lag_ms,omitempty"`
 
+	// Approximate-tier accounting (set once an AlgoApprox query has run):
+	// queries computed on this entry (cache hits excluded) and the total
+	// pair samples they drew.
+	ApproxQueries int64 `json:"approx_queries,omitempty"`
+	ApproxSamples int64 `json:"approx_samples,omitempty"`
+
 	// Recovery accounting (set only on entries that came up via Recover):
 	// "fast" when the checkpoint's maintainer-state section was imported
 	// instead of recomputed, "rebuild" otherwise, with the reason for the
@@ -985,6 +1034,8 @@ func (e *entry) infoAt(s *snapshot) GraphInfo {
 			}
 		}
 	}
+	gi.ApproxQueries = e.approxQueries.Load()
+	gi.ApproxSamples = e.approxSamples.Load()
 	gi.RecoverPath = e.recoverPath
 	gi.RecoverReason = e.recoverReason
 	return gi
@@ -1045,28 +1096,62 @@ func (r *Registry) Stats(name string) (GraphStats, error) {
 	}, nil
 }
 
-// TopKResult is the top-k endpoint payload.
+// TopKResult is the top-k endpoint payload. The approx-tier fields are
+// set only for AlgoApprox answers: the resolved ε / confidence / seed the
+// estimator ran with, how many pair samples it drew, and the largest
+// certified normalized half-width among the returned vertices.
 type TopKResult struct {
-	Graph   string       `json:"graph"`
-	Epoch   uint64       `json:"epoch"`
-	K       int          `json:"k"`
-	Algo    string       `json:"algo"`
-	Theta   float64      `json:"theta,omitempty"`
-	Cached  bool         `json:"cached"`
-	Results []ego.Result `json:"results"`
+	Graph             string       `json:"graph"`
+	Epoch             uint64       `json:"epoch"`
+	K                 int          `json:"k"`
+	Algo              string       `json:"algo"`
+	Theta             float64      `json:"theta,omitempty"`
+	Eps               float64      `json:"eps,omitempty"`
+	Conf              float64      `json:"conf,omitempty"`
+	Seed              uint64       `json:"seed,omitempty"`
+	ApproxSamples     int64        `json:"approx_samples,omitempty"`
+	ApproxEpsAchieved float64      `json:"approx_eps_achieved,omitempty"`
+	Cached            bool         `json:"cached"`
+	Results           []ego.Result `json:"results"`
 }
 
-// TopK answers a top-k query. algo "auto" (or "") picks the cheapest exact
-// strategy for the graph's mode. All strategies except AlgoLazy are served
-// lock-free from the current snapshot; AlgoLazy consults the LazyTopK
-// maintainer under the write lock (its Results() call mutates lazy state).
-// Answers are cached per (k, algo, θ) in the snapshot they were computed
-// against, so an epoch swap invalidates them wholesale.
+// TopKQuery is the full top-k query shape. Zero-valued knobs select the
+// documented defaults (θ → defaultTheta; ε / Conf → the registry's
+// WithApproxDefaults values or the approx package defaults; Seed →
+// approx.DefaultSeed). Eps/Conf/Seed apply only to AlgoApprox — setting
+// any of them steers an auto query to the approx tier, and combining them
+// with an explicit exact algo is rejected.
+type TopKQuery struct {
+	K     int
+	Algo  string
+	Theta float64
+	Eps   float64
+	Conf  float64
+	Seed  uint64
+}
+
+// TopK answers a top-k query with default approx knobs; see TopKQuery.
 func (r *Registry) TopK(name string, k int, algo string, theta float64) (TopKResult, error) {
+	return r.TopKQ(name, TopKQuery{K: k, Algo: algo, Theta: theta})
+}
+
+// TopKQ answers a top-k query. algo "auto" (or "") picks the cheapest
+// exact strategy for the graph's mode — or the approx tier when an approx
+// knob is set explicitly. All strategies except AlgoLazy are served
+// lock-free from the current snapshot; AlgoLazy consults the LazyTopK
+// maintainer under the write lock (its Results() call mutates lazy
+// state). AlgoApprox always runs on the snapshot's external-id view (never
+// the relabeled CSR), which with per-vertex seeded sample streams makes
+// its answers identical across frozen, overlay, and relabeled snapshots of
+// the same graph. Answers are cached per (k, algo, θ, ε, δ, seed) in the
+// snapshot they were computed against, so an epoch swap invalidates them
+// wholesale.
+func (r *Registry) TopKQ(name string, q TopKQuery) (TopKResult, error) {
 	e, err := r.get(name)
 	if err != nil {
 		return TopKResult{}, err
 	}
+	k, algo, theta := q.K, q.Algo, q.Theta
 	if k < 1 {
 		return TopKResult{}, fmt.Errorf("server: k must be ≥ 1, got %d", k)
 	}
@@ -1077,15 +1162,22 @@ func (r *Registry) TopK(name string, k int, algo string, theta float64) (TopKRes
 	if n := int(snap.view.NumVertices()); k > n {
 		k = n
 	}
+	approxKnobs := q.Eps != 0 || q.Conf != 0 || q.Seed != 0
 	if algo == "" || algo == AlgoAuto {
-		if e.mode == ModeLazy {
+		switch {
+		case approxKnobs:
+			algo = AlgoApprox
+		case e.mode == ModeLazy:
 			algo = AlgoLazy
 			if e.lazy != nil && k > e.lazy.K() {
 				algo = AlgoOpt // lazy set only holds its configured k
 			}
-		} else {
+		default:
 			algo = AlgoScores
 		}
+	}
+	if approxKnobs && algo != AlgoApprox {
+		return TopKResult{}, fmt.Errorf("server: eps/conf/seed apply only to algo %q (got algo %q)", AlgoApprox, algo)
 	}
 	// θ: 0 (unset) selects the documented default; anything else below 1
 	// is invalid — OptBSearch's pruning needs θ ≥ 1 — and is rejected
@@ -1097,36 +1189,76 @@ func (r *Registry) TopK(name string, k int, algo string, theta float64) (TopKRes
 	case theta < 1 || math.IsNaN(theta):
 		return TopKResult{}, fmt.Errorf("server: theta must be ≥ 1 (got %v; 0 selects the default %v)", theta, defaultTheta)
 	}
+	// Approx knobs: resolve defaults before building the cache key, so a
+	// query that spells the default out and one that leaves it unset share
+	// an entry; out-of-range values are rejected like a bad θ is.
+	eps, conf, seed := q.Eps, q.Conf, q.Seed
+	if algo == AlgoApprox {
+		if eps == 0 {
+			if eps = r.approxEps; eps == 0 {
+				eps = approx.DefaultEps
+			}
+		}
+		if conf == 0 {
+			if conf = r.approxConf; conf == 0 {
+				conf = approx.DefaultConf
+			}
+		}
+		if seed == 0 {
+			seed = approx.DefaultSeed
+		}
+		if !(eps > 0 && eps < 1) || math.IsNaN(eps) {
+			return TopKResult{}, fmt.Errorf("server: eps must be in (0, 1), got %v", q.Eps)
+		}
+		if !(conf > 0 && conf < 1) || math.IsNaN(conf) {
+			return TopKResult{}, fmt.Errorf("server: conf must be in (0, 1), got %v", q.Conf)
+		}
+	}
 	key := cacheKey{k: k, algo: algo}
 	if algo == AlgoOpt {
 		key.thetaBits = math.Float64bits(theta)
 	}
+	if algo == AlgoApprox {
+		key.epsBits = math.Float64bits(eps)
+		key.confBits = math.Float64bits(conf)
+		key.seed = seed
+	}
 
 	if v, ok := snap.cache.Load(key); ok {
 		e.cacheHits.Add(1)
-		return e.topkResult(snap, k, algo, theta, true, v.([]ego.Result)), nil
+		return e.topkResult(snap, key, theta, eps, conf, true, v.(cachedResult)), nil
 	}
 	e.cacheMisses.Add(1)
 
-	var res []ego.Result
+	var cr cachedResult
 	switch algo {
 	case AlgoScores:
 		if snap.scores == nil {
 			return TopKResult{}, fmt.Errorf("server: algo %q needs mode %q (graph %q is %q)", AlgoScores, ModeLocal, name, e.mode)
 		}
-		res = ego.TopKOf(snap.scores.Len(), snap.scores.At, k)
+		cr.res = ego.TopKOf(snap.scores.Len(), snap.scores.At, k)
 	case AlgoOpt:
 		if rl := snap.relab; rl != nil {
-			res, _ = ego.OptBSearchLabeled(rl.G, k, theta, rl.Ext)
+			cr.res, _ = ego.OptBSearchLabeled(rl.G, k, theta, rl.Ext)
 		} else {
-			res, _ = ego.OptBSearch(snap.view, k, theta)
+			cr.res, _ = ego.OptBSearch(snap.view, k, theta)
 		}
 	case AlgoBase:
 		if rl := snap.relab; rl != nil {
-			res, _ = ego.BaseBSearchLabeled(rl.G, k, rl.Ext)
+			cr.res, _ = ego.BaseBSearchLabeled(rl.G, k, rl.Ext)
 		} else {
-			res, _ = ego.BaseBSearch(snap.view, k)
+			cr.res, _ = ego.BaseBSearch(snap.view, k)
 		}
+	case AlgoApprox:
+		// Always the external-id view: estimates are a pure function of
+		// (seed, external vertex id, adjacency), so frozen, overlay, and
+		// relabeled snapshots of the same graph answer bit-identically.
+		res, st := approx.TopK(snap.view, k, approx.Options{
+			Eps: eps, Conf: conf, Seed: seed, Workers: e.workers,
+		})
+		cr = cachedResult{res: res, samples: st.Samples, epsAchieved: st.EpsAchieved}
+		e.approxQueries.Add(1)
+		e.approxSamples.Add(st.Samples)
 	case AlgoLazy:
 		if e.lazy == nil {
 			return TopKResult{}, fmt.Errorf("server: algo %q needs mode %q (graph %q is %q)", AlgoLazy, ModeLazy, name, e.mode)
@@ -1148,18 +1280,25 @@ func (r *Registry) TopK(name string, k int, algo string, theta float64) (TopKRes
 		if k < len(full) {
 			full = full[:k]
 		}
-		res = full
+		cr.res = full
 	default:
 		return TopKResult{}, fmt.Errorf("server: unknown algo %q", algo)
 	}
-	snap.cacheStore(key, res)
-	return e.topkResult(snap, k, algo, theta, false, res), nil
+	snap.cacheStore(key, cr)
+	return e.topkResult(snap, key, theta, eps, conf, false, cr), nil
 }
 
-func (e *entry) topkResult(s *snapshot, k int, algo string, theta float64, cached bool, res []ego.Result) TopKResult {
-	tr := TopKResult{Graph: e.name, Epoch: s.epoch, K: k, Algo: algo, Cached: cached, Results: res}
-	if algo == AlgoOpt {
+func (e *entry) topkResult(s *snapshot, key cacheKey, theta, eps, conf float64, cached bool, cr cachedResult) TopKResult {
+	tr := TopKResult{Graph: e.name, Epoch: s.epoch, K: key.k, Algo: key.algo, Cached: cached, Results: cr.res}
+	switch key.algo {
+	case AlgoOpt:
 		tr.Theta = theta
+	case AlgoApprox:
+		tr.Eps = eps
+		tr.Conf = conf
+		tr.Seed = key.seed
+		tr.ApproxSamples = cr.samples
+		tr.ApproxEpsAchieved = cr.epsAchieved
 	}
 	return tr
 }

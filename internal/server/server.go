@@ -329,18 +329,43 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		}
 		k = v
 	}
-	theta := 0.0
+	tq := TopKQuery{K: k, Algo: q.Get("algo")}
 	if qs := q.Get("theta"); qs != "" {
 		v, err := strconv.ParseFloat(qs, 64)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad theta %q (want float ≥ 1)", qs))
 			return
 		}
-		// Range validation lives in Registry.TopK, so the HTTP and the
-		// library surface reject exactly the same values.
-		theta = v
+		// Range validation lives in Registry.TopKQ, so the HTTP and the
+		// library surface reject exactly the same values — same for the
+		// approx knobs below.
+		tq.Theta = v
 	}
-	res, err := s.reg.TopK(name, k, q.Get("algo"), theta)
+	if qs := q.Get("eps"); qs != "" {
+		v, err := strconv.ParseFloat(qs, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad eps %q (want float in (0, 1))", qs))
+			return
+		}
+		tq.Eps = v
+	}
+	if qs := q.Get("conf"); qs != "" {
+		v, err := strconv.ParseFloat(qs, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad conf %q (want float in (0, 1))", qs))
+			return
+		}
+		tq.Conf = v
+	}
+	if qs := q.Get("seed"); qs != "" {
+		v, err := strconv.ParseUint(qs, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed %q (want uint64)", qs))
+			return
+		}
+		tq.Seed = v
+	}
+	res, err := s.reg.TopKQ(name, tq)
 	if err != nil {
 		status := http.StatusBadRequest
 		if _, lookupErr := s.reg.Info(name); lookupErr != nil {

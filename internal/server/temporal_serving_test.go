@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -427,6 +428,81 @@ func TestWindowedExpiryCrashPoint(t *testing.T) {
 	// And crossing the window again now expires them for real.
 	clk.advance(2 * 60_000)
 	waitForM(t, reborn, "g", 0)
+}
+
+// TestApproxTemporalServing pins the approx tier against the sliding
+// window: on a windowed graph under churn, algo=approx at a fixed seed is
+// deterministic at every fixed applied sequence and never sees an expired
+// edge. After each step settles, the windowed registry's approx answer must
+// be bit-identical (results and telemetry) to that of a registry built
+// fresh from only the live edges — a registry that has never held the
+// expired ones, so any resurrection would break the equality.
+func TestApproxTemporalServing(t *testing.T) {
+	const windowMS = 60_000
+	clk := &fakeClock{}
+	clk.set(1_000_000)
+	// Hub-heavy base so the estimator actually samples at this ε instead of
+	// falling back to the exact kernel everywhere.
+	base := gen.BarabasiAlbert(300, 8, 5)
+	reg := durableRegistry(t.TempDir(), WithClock(clk.now))
+	defer reg.Close()
+	if _, err := reg.AddWindowed("g", base, ModeLocal, 10, windowMS*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	stamps := map[[2]int32]int64{}
+	base.EachEdge(func(u, v int32) bool {
+		stamps[[2]int32{u, v}] = clk.now()
+		return true
+	})
+
+	q := TopKQuery{K: 20, Algo: AlgoApprox, Eps: 0.2, Seed: 11}
+	// Every insert touches a vertex ≥ 300 (past the base), so none collides
+	// with a pre-existing edge — a duplicate insert is a no-op and would not
+	// re-stamp.
+	script := []windowedStep{
+		// Fresh hub-adjacent edges, then a back-stamped batch that will be
+		// the first to cross the window.
+		{advanceMS: 5_000, insert: [][2]int32{{0, 300}, {1, 300}, {2, 301}}},
+		{advanceMS: 10_000, insert: [][2]int32{{0, 302}, {3, 302}}, stamp: 970_000},
+		// t=+35s: the back-stamped batch crosses; the base stays live. A
+		// client delete rides the same drain.
+		{advanceMS: 20_000, delete: [][2]int32{{0, 300}}},
+		// t=+70s: the base and the receive-stamped inserts all expire; only
+		// this step's edges survive.
+		{advanceMS: 35_000, insert: [][2]int32{{4, 303}, {5, 303}, {303, 304}}},
+	}
+	for i := range script {
+		want := playWindowed(t, reg, clk, "g", windowMS, stamps, script[i:i+1])
+		got, err := reg.TopKQ("g", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := NewRegistry(WithBuildWorkers(2))
+		if _, err := fresh.Add("g", want, ModeLocal, 0); err != nil {
+			t.Fatal(err)
+		}
+		wantRes, err := fresh.TopKQ("g", q)
+		fresh.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Results, wantRes.Results) {
+			t.Fatalf("step %d: windowed approx diverges from live-edge rebuild\n got %v\nwant %v",
+				i, got.Results, wantRes.Results)
+		}
+		if got.ApproxSamples != wantRes.ApproxSamples || got.ApproxEpsAchieved != wantRes.ApproxEpsAchieved {
+			t.Fatalf("step %d: approx telemetry diverges: %d/%v vs %d/%v", i,
+				got.ApproxSamples, got.ApproxEpsAchieved, wantRes.ApproxSamples, wantRes.ApproxEpsAchieved)
+		}
+		// Same applied sequence, same seed: asking again is deterministic.
+		again, err := reg.TopKQ("g", q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again.Results, got.Results) {
+			t.Fatalf("step %d: repeat query at the same applied sequence diverges", i)
+		}
+	}
 }
 
 // TestWindowedReplicaEquivalence runs the windowed timeline on a shipped

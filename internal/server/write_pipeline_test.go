@@ -386,7 +386,7 @@ func TestCacheCapConcurrent(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
-				s.cacheStore(cacheKey{k: w*perWorker + i}, nil)
+				s.cacheStore(cacheKey{k: w*perWorker + i}, cachedResult{})
 			}
 		}(w)
 	}
@@ -407,7 +407,7 @@ func TestCacheCapConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s2.cacheStore(cacheKey{k: 1}, nil)
+			s2.cacheStore(cacheKey{k: 1}, cachedResult{})
 		}()
 	}
 	wg.Wait()
